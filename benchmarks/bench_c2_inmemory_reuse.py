@@ -1,0 +1,64 @@
+"""C2 — in-memory baseline reuse cuts storage reads.
+
+§5.3: "since Ophidia can store the datasets in memory between different
+operators' execution, the baseline values with the long-term historical
+averages can be loaded only once and used throughout the workflows ...
+reducing the number of read operations from storage."
+
+Both modes compute the identical 4-year index set; the reuse mode loads
+the baseline cubes once, the no-reuse mode re-imports them per year.
+Shape: fewer baseline loads → fewer filesystem reads and bytes.
+"""
+
+from benchmarks.conftest import print_table
+from repro.cluster import laptop_like
+from repro.workflow import WorkflowParams, run_extreme_events_workflow
+
+YEARS = [2030, 2031, 2032, 2033]
+
+
+def run_mode(tmp_path, reuse: bool):
+    with laptop_like(scratch_root=str(tmp_path / f"reuse{reuse}")) as cluster:
+        params = WorkflowParams(
+            years=YEARS, n_days=15, n_lat=16, n_lon=24, n_workers=4,
+            min_length_days=4, with_ml=False, seed=5, reuse_baseline=reuse,
+        )
+        summary = run_extreme_events_workflow(cluster, params)
+        return summary
+
+
+def test_c2_inmemory_baseline_reuse(benchmark, tmp_path):
+    no_reuse = run_mode(tmp_path, reuse=False)
+    reuse = benchmark.pedantic(
+        lambda: run_mode(tmp_path, reuse=True), rounds=1, iterations=1
+    )
+
+    loads_reuse = reuse["task_graph"]["by_function"]["load_baseline_cubes"]
+    loads_noreuse = no_reuse["task_graph"]["by_function"]["load_baseline_cubes"]
+    reads_reuse = reuse["storage"]["fs_reads"]
+    reads_noreuse = no_reuse["storage"]["fs_reads"]
+    bytes_reuse = reuse["storage"]["fs_bytes_read"]
+    bytes_noreuse = no_reuse["storage"]["fs_bytes_read"]
+
+    # Shape: exactly one baseline load vs one per year; strictly fewer
+    # filesystem reads; identical science.
+    assert loads_reuse == 1
+    assert loads_noreuse == len(YEARS)
+    assert reads_reuse < reads_noreuse
+    assert bytes_reuse < bytes_noreuse
+    for year in YEARS:
+        assert reuse["years"][year]["heat_waves"] == no_reuse["years"][year]["heat_waves"]
+
+    print_table(
+        f"C2: baseline handling over {len(YEARS)} years",
+        ["mode", "baseline loads", "fs reads", "MB read"],
+        [
+            ["in-memory reuse", loads_reuse, reads_reuse,
+             f"{bytes_reuse / 1e6:.1f}"],
+            ["reload per year", loads_noreuse, reads_noreuse,
+             f"{bytes_noreuse / 1e6:.1f}"],
+            ["saving", loads_noreuse - loads_reuse,
+             reads_noreuse - reads_reuse,
+             f"{(bytes_noreuse - bytes_reuse) / 1e6:.1f}"],
+        ],
+    )

@@ -1,0 +1,148 @@
+"""C5 — fault tolerance and task-level checkpointing.
+
+§4.2.1: PyCOMPSs provides per-task failure policies (Ejarque et al.
+2020) and task-level checkpointing that "enables to recover a failed
+execution from the last checkpointed task" (Vergés et al. 2023).
+
+Measured shapes:
+* RETRY absorbs transient failures at a cost proportional to the
+  re-executed work only;
+* a checkpointed re-run after a mid-workflow crash recovers completed
+  tasks instead of recomputing them, so the restart is much cheaper
+  than the original run.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.compss import (
+    COMPSs,
+    CheckpointManager,
+    OnFailure,
+    TaskFailedError,
+    compss_wait_on,
+    task,
+)
+
+WORK_SHAPE = (160, 64, 64)
+
+
+def _crunch(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=WORK_SHAPE)
+    return float(np.fft.rfft(data, axis=0).real.sum())
+
+
+_flaky_state = {"failures_left": 0}
+
+
+@task(returns=1, on_failure=OnFailure.RETRY, max_retries=6)
+def flaky_job(seed: int):
+    if _flaky_state["failures_left"] > 0:
+        _flaky_state["failures_left"] -= 1
+        raise IOError("transient storage hiccup")
+    return _crunch(seed)
+
+
+@task(returns=1)
+def steady_job(seed: int):
+    return _crunch(seed)
+
+
+_crash_state = {"armed": False}
+
+
+@task(returns=1)
+def maybe_crash_job(seed: int):
+    if _crash_state["armed"] and seed >= 8:
+        raise RuntimeError("node failure")
+    return _crunch(seed)
+
+
+def run_steady(n_jobs=12, n_workers=4):
+    start = time.monotonic()
+    with COMPSs(n_workers=n_workers):
+        out = compss_wait_on([steady_job(i) for i in range(n_jobs)])
+    return time.monotonic() - start, out
+
+
+def run_flaky(n_failures, n_jobs=12, n_workers=4):
+    _flaky_state["failures_left"] = n_failures
+    start = time.monotonic()
+    with COMPSs(n_workers=n_workers):
+        out = compss_wait_on([flaky_job(i) for i in range(n_jobs)])
+    return time.monotonic() - start, out
+
+
+def test_c5_retry_overhead(benchmark):
+    clean_t, clean = run_steady()
+    flaky_t, flaky = benchmark.pedantic(
+        lambda: run_flaky(n_failures=4), rounds=1, iterations=1
+    )
+    # Shape: same results; bounded overhead (retries redo only the
+    # failed attempts, not the workflow).
+    assert flaky == clean
+    assert flaky_t < clean_t * 3.0
+
+    print_table(
+        "C5a: transient failures under the RETRY policy (12 jobs, 4 workers)",
+        ["scenario", "makespan (s)", "result identical"],
+        [
+            ["no failures", f"{clean_t:.2f}", "-"],
+            ["4 transient failures", f"{flaky_t:.2f}", str(flaky == clean)],
+            ["overhead", f"{(flaky_t / clean_t - 1) * 100:.0f}%", ""],
+        ],
+    )
+
+
+def test_c5_checkpoint_restart(benchmark, tmp_path):
+    ckpt_dir = tmp_path / "ckpt"
+    n_jobs = 12
+
+    # First run crashes after 8 completed jobs.
+    _crash_state["armed"] = True
+    start = time.monotonic()
+    try:
+        with COMPSs(n_workers=2, checkpoint=CheckpointManager(ckpt_dir)):
+            compss_wait_on([maybe_crash_job(i) for i in range(n_jobs)])
+        raise AssertionError("first run should have crashed")
+    except TaskFailedError:
+        pass
+    crashed_t = time.monotonic() - start
+
+    # Restart: completed tasks recover from the checkpoint store.
+    _crash_state["armed"] = False
+
+    def restart():
+        with COMPSs(n_workers=2, checkpoint=CheckpointManager(ckpt_dir)) as rt:
+            out = compss_wait_on([maybe_crash_job(i) for i in range(n_jobs)])
+            return out, rt.graph.counts_by_state()
+
+    start = time.monotonic()
+    out, states = benchmark.pedantic(restart, rounds=1, iterations=1)
+    restart_t = time.monotonic() - start
+
+    # Reference: the same full run without any checkpoint store.
+    start = time.monotonic()
+    with COMPSs(n_workers=2):
+        reference = compss_wait_on([maybe_crash_job(i) for i in range(n_jobs)])
+    full_t = time.monotonic() - start
+
+    # Shape: the restart recovers the 8 completed tasks, executes only
+    # the missing 4, and beats the from-scratch run.
+    assert out == reference
+    assert states.get("RECOVERED", 0) == 8
+    assert states.get("COMPLETED", 0) == 4
+    assert restart_t < full_t
+
+    print_table(
+        "C5b: checkpoint-restart after a mid-workflow crash (12 jobs)",
+        ["run", "seconds", "executed", "recovered"],
+        [
+            ["crashed first run", f"{crashed_t:.2f}", "8 + failures", "0"],
+            ["checkpointed restart", f"{restart_t:.2f}", "4", "8"],
+            ["from-scratch reference", f"{full_t:.2f}", "12", "0"],
+        ],
+    )

@@ -1,0 +1,85 @@
+"""E1 (extension) — distributed multi-site execution (the paper's §7).
+
+The future-work scenario the paper sketches: "large HPC systems for the
+ESM simulation, data-oriented/Cloud systems for Big Data processing",
+connected by the Data Logistics Service.  The same 2-year workload runs
+single-site and federated (with an emulated WAN between the sites).
+
+Shape: identical science; the federated run pays a visible, bounded
+data-movement cost proportional to the year volume; transfers overlap
+the still-running simulation.
+"""
+
+from benchmarks.conftest import print_table
+from repro.cluster import Cluster, Node, laptop_like
+from repro.hpcwaas import FederatedDataLogistics, Federation
+from repro.workflow import (
+    WorkflowParams,
+    run_distributed_extreme_events,
+    run_extreme_events_workflow,
+)
+
+PARAMS = dict(
+    years=[2030, 2031], n_days=12, n_lat=16, n_lon=24, n_workers=4,
+    min_length_days=4, with_ml=False, seed=5,
+)
+
+
+def run_single(tmp_path):
+    with laptop_like(scratch_root=str(tmp_path / "single")) as cluster:
+        return run_extreme_events_workflow(cluster, WorkflowParams(**PARAMS))
+
+
+def run_federated(tmp_path):
+    dls = FederatedDataLogistics(wan_bandwidth_mbps=200.0)
+    with Federation(dls=dls) as fed:
+        fed.add_site(Cluster("hpc-sim", [Node("h1", 4, 16.0)],
+                             scratch_root=str(tmp_path / "hpc")),
+                     role="simulation")
+        fed.add_site(Cluster("cloud-sim", [Node("c1", 4, 16.0)],
+                             scratch_root=str(tmp_path / "cloud")),
+                     role="analytics")
+        return run_distributed_extreme_events(fed, WorkflowParams(**PARAMS))
+
+
+def test_e1_distributed_vs_single_site(benchmark, tmp_path):
+    single = run_single(tmp_path)
+    federated = benchmark.pedantic(
+        lambda: run_federated(tmp_path), rounds=1, iterations=1
+    )
+
+    # Shape: the science is identical wherever the tasks ran.
+    for year in PARAMS["years"]:
+        assert (federated["years"][year]["heat_waves"]
+                == single["years"][year]["heat_waves"])
+        assert (federated["years"][year]["cold_waves"]
+                == single["years"][year]["cold_waves"])
+
+    fed_info = federated["federation"]
+    assert fed_info["transfers"] == len(PARAMS["years"])
+    assert fed_info["bytes_moved"] > 100_000        # both years shipped
+    assert fed_info["transfer_seconds"] > 0
+    # Movement cost is visible but does not dominate the run.
+    assert fed_info["transfer_seconds"] < max(
+        federated["schedule"]["makespan_s"], 1e-9
+    )
+
+    print_table(
+        "E1: single-site vs federated execution (2 years)",
+        ["configuration", "makespan (s)", "DLS transfers", "MB moved",
+         "transfer time (s)"],
+        [
+            ["single site", f"{single['schedule']['makespan_s']:.2f}",
+             0, "0.0", "0.00"],
+            ["HPC + Cloud federation",
+             f"{federated['schedule']['makespan_s']:.2f}",
+             fed_info["transfers"],
+             f"{fed_info['bytes_moved'] / 1e6:.1f}",
+             f"{fed_info['transfer_seconds']:.2f}"],
+        ],
+    )
+    print_table(
+        "E1: federated placement",
+        ["role", "site"],
+        sorted(fed_info["roles"].items()),
+    )

@@ -1,0 +1,79 @@
+"""FIG2 — the HPCWaaS lifecycle (paper Figure 2).
+
+Reproduces the deployment/execution path: Alien4Cloud topology upload →
+Yorc deployment (container image build, Python environments, DLS data
+staging) → workflow publication → Execution API invocation → undeploy.
+Reports the time of each lifecycle phase; the workflow itself runs at
+test scale.
+"""
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.workflow import build_case_study_services, run_extreme_events_workflow
+
+
+def _entrypoint(cl, params):
+    wf = {k: v for k, v in params.items() if k in (
+        "years", "n_days", "n_lat", "n_lon", "min_length_days",
+        "with_ml", "seed", "tc_model_path", "tc_target_grid",
+    )}
+    return run_extreme_events_workflow(cl, wf)
+
+
+def run_lifecycle(cluster, tc_model_path):
+    timings = {}
+    t0 = time.monotonic()
+    a4c, api = build_case_study_services(tc_model_bytes=b"placeholder")
+    timings["upload_topology"] = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    deployment = a4c.deploy("climate-extreme-events", cluster)
+    timings["deploy"] = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    a4c.set_parameters(
+        "climate-extreme-events",
+        n_lat=16, n_lon=24, min_length_days=4, with_ml=True,
+        tc_model_path=tc_model_path, tc_target_grid=(16, 32), seed=5,
+    )
+    record = a4c.publish_workflow("extreme-events", deployment, _entrypoint)
+    timings["publish"] = time.monotonic() - t0
+
+    t0 = time.monotonic()
+    execution = api.invoke("extreme-events", years=[2030], n_days=10)
+    summary = execution.wait(timeout=600)
+    timings["execute"] = time.monotonic() - t0
+
+    provisioned = {
+        name: rec.get("kind", "?") for name, rec in deployment.provisioned.items()
+    }
+    t0 = time.monotonic()
+    a4c.undeploy(record.deployment)
+    timings["undeploy"] = time.monotonic() - t0
+    return timings, summary, provisioned
+
+
+def test_fig2_hpcwaas_lifecycle(benchmark, cluster, tc_model_path):
+    timings, summary, provisioned = benchmark.pedantic(
+        lambda: run_lifecycle(cluster, tc_model_path), rounds=1, iterations=1,
+    )
+
+    # Shape: the lifecycle completes, provisioning covers every template,
+    # and the workflow produced its science outputs.
+    assert 2030 in summary["years"]
+    assert cluster.filesystem.exists("models/tc_localizer_staged.pkl")
+    assert cluster.filesystem.exists("deployments/climate-extreme-events/deployment.json")
+
+    print_table(
+        "FIG2: HPCWaaS lifecycle phases",
+        ["phase", "seconds"],
+        [[name, f"{secs:.3f}"] for name, secs in timings.items()],
+    )
+    assert set(provisioned.values()) >= {"container", "environment", "data",
+                                         "application", "compute"}
+    print_table(
+        "FIG2: deployed node templates",
+        ["template", "kind"],
+        sorted(provisioned.items()),
+    )

@@ -1,0 +1,73 @@
+"""FIG3 — the run-time task graph (paper Figure 3).
+
+The paper shows the PyCOMPSs-generated DAG for a single year of
+simulation data.  This benchmark runs that configuration, prints the
+per-function task census and structural metrics, verifies the
+dependency structure, and emits the DOT artefact.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.workflow import WorkflowParams, run_extreme_events_workflow
+
+
+def test_fig3_task_graph_single_year(benchmark, cluster, tc_model_path):
+    params = WorkflowParams(
+        years=[2030], n_days=12, n_lat=16, n_lon=24, n_workers=4,
+        min_length_days=4, tc_model_path=tc_model_path,
+        tc_target_grid=(16, 32), seed=5,
+    )
+    summary = benchmark.pedantic(
+        lambda: run_extreme_events_workflow(cluster, params),
+        rounds=1, iterations=1,
+    )
+    graph = summary["task_graph"]
+    by_fn = graph["by_function"]
+
+    # Shape: the per-year multiset Figure 3 implies — one simulation
+    # block, one stream monitor, one load, 2x (durations + 3 indices),
+    # TC post-process/inference/geo-reference + deterministic tracker,
+    # 2x validate/store, 2x maps.
+    expected = {
+        "esm_simulation": 1,
+        "write_baseline": 1,
+        "load_baseline_cubes": 1,
+        "monitor_year": 1,
+        "load_year_cubes": 1,
+        "compute_qualifying_durations": 2,
+        "index_duration_max": 2,
+        "index_duration_number": 2,
+        "index_frequency": 2,
+        "validate_and_store": 2,
+        "make_map": 2,
+        "tc_preprocess": 1,
+        "tc_inference": 1,
+        "tc_georeference": 1,
+        "tc_deterministic_tracking": 1,
+    }
+    assert by_fn == expected
+    assert graph["n_tasks"] == sum(expected.values())
+    assert graph["n_edges"] >= 20           # densely wired, as in the figure
+    assert graph["critical_path"] >= 5      # monitor → load → dur → index → validate
+    assert graph["max_width"] >= 4          # HW/CW/TC branches run abreast
+
+    dot = cluster.filesystem.read_bytes("results/task_graph.dot").decode()
+    assert dot.startswith("digraph")
+
+    print_table(
+        "FIG3: per-function task census (1 year)",
+        ["function (graph colour group)", "tasks"],
+        sorted(by_fn.items()),
+    )
+    print_table(
+        "FIG3: graph structure",
+        ["metric", "value"],
+        [
+            ["tasks", graph["n_tasks"]],
+            ["dependency edges", graph["n_edges"]],
+            ["critical path length", graph["critical_path"]],
+            ["max parallel width", graph["max_width"]],
+            ["DOT size (bytes)", len(dot)],
+        ],
+    )

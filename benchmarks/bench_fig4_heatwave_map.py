@@ -1,0 +1,87 @@
+"""FIG4 — the Heat Wave Number map (paper Figure 4).
+
+One year of simulated CMCC-CM3 output versus the 20-year baseline
+climatology, processed through the Ophidia operator pipeline, yields a
+per-gridpoint map of the number of heat waves — rendered here in ASCII
+(the PGM twin is written by the workflow).  Shape checks: injected heat
+waves appear as localized hotspots over land; most of the map is quiet.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.analytics import ophidia_wave_pipeline, render_ascii_map
+from repro.cluster import SharedFilesystem
+from repro.esm import CMCCCM3, ModelConfig
+from repro.ophidia import Client, Cube, OphidiaServer
+from repro.workflow import tasks
+
+N_DAYS = 365
+GRID = (24, 36)
+
+
+def make_year(cluster, seed=5):
+    model = CMCCCM3(ModelConfig(n_lat=GRID[0], n_lon=GRID[1], seed=seed))
+    truth = model.run_year(2030, cluster.filesystem, n_days=N_DAYS)
+    model.write_baseline(cluster.filesystem, n_days=N_DAYS)
+    return truth
+
+
+def compute_map(cluster):
+    fs = cluster.filesystem
+    with OphidiaServer(n_io_servers=2, n_cores=4, filesystem=fs) as server:
+        client = Client(server)
+        paths = fs.glob("esm_output", "cmcc_cm3_*.rnc")
+        tmax, _ = tasks.load_year_cubes(client, paths, nfrag=4)
+        base_tmax, _ = tasks.load_baseline_cubes(
+            client, "baselines/climatology.rnc", 4, N_DAYS
+        )
+        dmax, number, freq = ophidia_wave_pipeline(
+            tmax, base_tmax, kind="heat", export_path="results",
+            name_prefix="fig4_hw",
+        )
+        result = {
+            "number": number.to_array(),
+            "duration_max": dmax.to_array(),
+            "frequency": freq.to_array(),
+        }
+    return result
+
+
+def test_fig4_heat_wave_number_map(benchmark, cluster):
+    truth = make_year(cluster)
+    maps = benchmark.pedantic(lambda: compute_map(cluster), rounds=1, iterations=1)
+    number = maps["number"]
+
+    # Shape: hotspots exist (injected events) but the map is mostly calm.
+    assert number.max() >= 1
+    active_fraction = (number > 0).mean()
+    assert 0.0 < active_fraction < 0.5
+    assert maps["duration_max"].max() >= 6
+    assert np.all(maps["frequency"] <= 1.0)
+
+    # Hotspots sit near injected heat-wave centres.
+    model = CMCCCM3(ModelConfig(n_lat=GRID[0], n_lon=GRID[1], seed=5))
+    hits = 0
+    for ev in truth["heat_waves"]:
+        i, j = model.grid.nearest_index(ev["center_lat"], ev["center_lon"])
+        region = number[max(0, i - 2):i + 3, max(0, j - 2):j + 3]
+        if region.max() >= 1:
+            hits += 1
+    assert hits >= max(1, len(truth["heat_waves"]) // 2)
+
+    print(render_ascii_map(
+        number, title="FIG4: Heat Wave Number, 1 simulated year "
+        f"({GRID[0]}x{GRID[1]} grid)",
+    ))
+    print_table(
+        "FIG4: injected vs detected hotspots",
+        ["metric", "value"],
+        [
+            ["injected heat waves", len(truth["heat_waves"])],
+            ["hotspots recovered", hits],
+            ["max waves per cell", int(number.max())],
+            ["active cell fraction", f"{active_fraction:.3f}"],
+            ["max duration (days)", int(maps["duration_max"].max())],
+        ],
+    )

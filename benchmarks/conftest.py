@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Every benchmark prints the rows/series the corresponding paper artefact
+reports (see DESIGN.md's experiment index) in addition to the
+pytest-benchmark timing.  Expensive shared assets (the trained TC CNN)
+are session-scoped.
+"""
+
+import pytest
+
+from repro.cluster import laptop_like
+from repro.workflow.tasks import ensure_tc_model
+
+
+@pytest.fixture(scope="session")
+def tc_model_path(tmp_path_factory):
+    """A quickly-trained TC localizer (synthetic patches) for the
+    structural benchmarks where CNN skill is irrelevant."""
+    return ensure_tc_model(None, 16, str(tmp_path_factory.mktemp("tc_model")))
+
+
+@pytest.fixture(scope="session")
+def tc_model_esm_path(tmp_path_factory):
+    """The production localizer trained on simulator-harvested patches
+    (the paper's 'pre-trained CNN'), used by the C6 skill benchmark."""
+    from repro.ml import train_esm_localizer
+
+    path = str(tmp_path_factory.mktemp("tc_model_esm") / "tc_esm.pkl")
+    train_esm_localizer(path)
+    return path
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    with laptop_like(scratch_root=str(tmp_path / "scratch")) as c:
+        yield c
+
+
+def print_table(title, header, rows):
+    """Uniform results table used by every benchmark."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(header)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Initial-condition ensemble analysis of heat-wave indices.
+
+The paper's §3 highlights ensembles ("group of runs of the same ESM
+with different initial conditions") as a driver of ESM workflow cost.
+This example runs a small ensemble — identical forced extremes,
+different internal variability — computes each member's heat-wave-number
+map, and reports the ensemble mean, spread and member agreement: the
+separation of forced signal from weather noise that large-ensemble
+studies perform.
+
+Usage::
+
+    python examples/ensemble_analysis.py [--members 3] [--days 250]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analytics import compute_heatwave_indices, render_ascii_map
+from repro.cluster import SharedFilesystem
+from repro.esm import (
+    CMCCCM3,
+    EnsembleConfig,
+    ModelConfig,
+    build_member,
+    ensemble_statistics,
+    member_name,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--members", type=int, default=3)
+    parser.add_argument("--days", type=int, default=250)
+    parser.add_argument("--year", type=int, default=2030)
+    args = parser.parse_args()
+
+    base = ModelConfig(n_lat=20, n_lon=30, seed=11)
+    config = EnsembleConfig(base, n_members=args.members)
+
+    # The baseline climatology is ensemble-independent.
+    baseline_model = CMCCCM3(base)
+    baseline = np.stack([
+        baseline_model.atmosphere.baseline_tmax(
+            d, sst_clim=baseline_model.ocean.sst_clim(1995, d))
+        for d in range(1, args.days + 1)
+    ])
+
+    member_maps = []
+    for index in range(config.n_members):
+        model = build_member(config, index)
+        tmax = np.stack([
+            ds["TREFHTMX"].data[0]
+            for _, ds in model.iter_year(args.year, n_days=args.days)
+        ]).astype(np.float64)
+        idx = compute_heatwave_indices(tmax, baseline)
+        member_maps.append(idx.number.astype(np.float64))
+        print(f"{member_name(index)}: {int(idx.number.sum())} wave-cells, "
+              f"longest {int(idx.duration_max.max())} days")
+
+    stats = ensemble_statistics(member_maps)
+    forced = baseline_model.events.heat_waves(args.year)
+    inside = [ev for ev in forced if ev.end_doy <= args.days]
+    print(f"\nforced (injected) heat waves in window: {len(inside)} — "
+          "identical across members by construction")
+    print(f"ensemble mean wave-cells: {stats['mean'].sum():.1f}")
+    print(f"mean spread where waves occur: "
+          f"{stats['spread'][stats['mean'] > 0].mean():.2f}")
+
+    print()
+    print(render_ascii_map(
+        stats["mean"],
+        title=f"Ensemble-mean Heat Wave Number ({args.members} members)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

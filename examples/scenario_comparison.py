@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Scenario comparison: heat-wave statistics under SSP pathways.
+
+The paper's motivation (§1, §5.1): policy makers need to know how
+climate change alters extremes; the IPCC AR6 reports increases in
+intensity and frequency.  This example runs the same projection years
+under low- (SSP1-2.6) and high-emission (SSP5-8.5) pathways against a
+common historical baseline and compares the resulting heat-wave
+indices — the end product the whole workflow exists to deliver.
+
+Usage::
+
+    python examples/scenario_comparison.py [--days 200] [--decades 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analytics import compute_heatwave_indices
+from repro.esm import CMCCCM3, ModelConfig
+from repro.esm.forcing import warming_offset
+
+
+def yearly_hw_stats(scenario: str, year: int, n_days: int, baseline: np.ndarray,
+                    seed: int) -> dict:
+    model = CMCCCM3(ModelConfig(
+        n_lat=20, n_lon=30, scenario=scenario, seed=seed,
+    ))
+    tmax = np.stack([
+        ds["TREFHTMX"].data[0] for _, ds in model.iter_year(year, n_days)
+    ]).astype(np.float64)
+    idx = compute_heatwave_indices(tmax, baseline)
+    return {
+        "waves": int(idx.number.sum()),
+        "cells": float((idx.number > 0).mean()),
+        "longest": int(idx.duration_max.max()),
+        "mean_tmax": float(tmax.mean()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=200)
+    parser.add_argument("--decades", type=int, default=3,
+                        help="sample one year per decade from 2030")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    base_model = CMCCCM3(ModelConfig(n_lat=20, n_lon=30, seed=args.seed))
+    baseline = np.stack([
+        base_model.atmosphere.baseline_tmax(
+            d, sst_clim=base_model.ocean.sst_clim(1995, d))
+        for d in range(1, args.days + 1)
+    ])
+
+    years = [2030 + 30 * i for i in range(args.decades)]
+    print(f"years: {years}  (baseline: 1995 climatology; "
+          f"{args.days} days per year)\n")
+    print("scenario  year  global warming  TMAX anomaly  HW cells  waves")
+    anomalies = {}
+    for scenario in ("ssp126", "ssp585"):
+        for year in years:
+            stats = yearly_hw_stats(scenario, year, args.days, baseline,
+                                    args.seed)
+            warming = warming_offset(year, scenario)
+            anomaly = stats["mean_tmax"] - float(baseline.mean())
+            anomalies[(scenario, year)] = anomaly
+            print(f"{scenario:8s}  {year}  {warming:13.2f}K  "
+                  f"{anomaly:11.2f}K  {stats['cells']:7.1%}  {stats['waves']:5d}")
+        print()
+
+    last = years[-1]
+    gap = anomalies[("ssp585", last)] - anomalies[("ssp126", last)]
+    print(f"pathway divergence by {last}: SSP5-8.5 runs "
+          f"{gap:+.2f} K warmer than SSP1-2.6 on the same grid.")
+    print("Shape to observe: the simulated-TMAX anomaly tracks each")
+    print("pathway's forcing (injected events are identical), while the")
+    print("conservative fixed '+5 K over 1995' wave definition responds")
+    print("only once warming approaches the threshold — which is why the")
+    print("ETCCDI percentile indices (examples/percentile_indices.py)")
+    print("are the instrument of choice for warming-trend detection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a full reproduction of "End-to-End Workflows for Climate
+Science: Integrating HPC Simulations, Big Data Processing and Machine
+Learning" (Elia et al., SC-W 2023).
+
+Subpackages (see each package docstring for details):
+
+* :mod:`repro.compss` — PyCOMPSs-style task-based programming model;
+* :mod:`repro.ophidia` — Ophidia-style datacube HPDA framework;
+* :mod:`repro.esm` — the coupled CMCC-CM3-like simulator;
+* :mod:`repro.ml` — NumPy deep learning + the TC localizer;
+* :mod:`repro.analytics` — climate indices and TC tracking;
+* :mod:`repro.hpcwaas` — the eFlows4HPC orchestration stack;
+* :mod:`repro.cluster` — simulated HPC infrastructure;
+* :mod:`repro.netcdf` — the RNC container format;
+* :mod:`repro.workflow` — the extreme-events case study itself.
+"""
+
+__version__ = "1.0.0"

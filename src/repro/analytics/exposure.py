@@ -1,0 +1,90 @@
+"""Impact exposure metrics.
+
+The case study's motivation (§5.1): "extreme events can have severe
+impacts on the economy and people's life" — impact assessment needs the
+index maps converted into exposure numbers.  This module computes
+area-weighted and population-weighted exposure from wave-index maps:
+
+* **area exposure** — km² experiencing at least one qualifying wave,
+  and km²·days of wave conditions;
+* **population exposure** — person-days under wave conditions given a
+  population-density field (a synthetic coastal-weighted density is
+  provided for simulation studies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.analytics.heatwaves import WaveIndices
+from repro.esm.grid import Grid
+
+
+def synthetic_population_density(grid: Grid, total_population: float = 8.0e9,
+                                 seed: int = 0) -> np.ndarray:
+    """A plausible population-density field (people per km²).
+
+    People live on land, preferentially near coasts and away from the
+    poles; density is smooth with a few metropolitan hotspots.  Scaled
+    so the global sum matches *total_population*.
+    """
+    land = grid.land_mask.astype(np.float64)
+    # Coast proximity: land cells near ocean get a boost.
+    ocean_blur = ndimage.uniform_filter(
+        grid.ocean_mask.astype(np.float64), size=3, mode="wrap"
+    )
+    coastal = land * (0.35 + ocean_blur)
+    habitable = np.clip(np.cos(np.deg2rad(grid.lat2d)) - 0.15, 0.0, None)
+    rng = np.random.default_rng(seed)
+    hotspots = np.zeros(grid.shape)
+    candidates = np.argwhere(grid.land_mask & (np.abs(grid.lat2d) < 55))
+    for _ in range(min(6, len(candidates))):
+        i, j = candidates[rng.integers(len(candidates))]
+        dist = grid.distance_field_km(float(grid.lat[i]), float(grid.lon[j]))
+        hotspots += 4.0 * np.exp(-((dist / 700.0) ** 2))
+    weight = (coastal * habitable) * (1.0 + hotspots)
+    mass = (weight * grid.cell_area_km2).sum()
+    if mass <= 0:
+        raise ValueError("grid has no habitable land for population")
+    return weight * (total_population / mass)
+
+
+def wave_exposure(
+    indices: WaveIndices,
+    grid: Grid,
+    population_density: Optional[np.ndarray] = None,
+    n_days: int = 365,
+) -> Dict[str, float]:
+    """Exposure summary for one year's wave indices.
+
+    Returns area exposure always; person-day exposure when a
+    *population_density* field (people/km²) is supplied.
+    """
+    number = np.asarray(indices.number)
+    frequency = np.asarray(indices.frequency)
+    if number.shape != grid.shape:
+        raise ValueError(
+            f"index map shape {number.shape} does not match grid {grid.shape}"
+        )
+    affected = number > 0
+    area = grid.cell_area_km2
+    wave_days = frequency * n_days
+
+    out: Dict[str, float] = {
+        "affected_area_km2": float((affected * area).sum()),
+        "affected_area_fraction": float(
+            (affected * area).sum() / area.sum()
+        ),
+        "area_wave_days_km2d": float((wave_days * area).sum()),
+    }
+    if population_density is not None:
+        density = np.asarray(population_density)
+        if density.shape != grid.shape:
+            raise ValueError("population density shape does not match grid")
+        people = density * area
+        out["affected_population"] = float((affected * people).sum())
+        out["person_wave_days"] = float((wave_days * people).sum())
+    return out

@@ -1,0 +1,76 @@
+"""Map rendering without a plotting stack.
+
+The workflow's final step produces "plots/maps" (Figure 4 is a Heat Wave
+Number map).  Offline and matplotlib-free, we render 2-d index maps as
+ASCII art (for terminals and logs) and as binary PGM images (viewable in
+any image tool), which is enough to regenerate the Figure-4 artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Light-to-dark ASCII intensity ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def _normalise(
+    field: np.ndarray, vmin: Optional[float], vmax: Optional[float]
+) -> np.ndarray:
+    field = np.asarray(field, dtype=np.float64)
+    finite = np.isfinite(field)
+    if not finite.any():
+        return np.zeros_like(field)
+    lo = float(np.min(field[finite])) if vmin is None else vmin
+    hi = float(np.max(field[finite])) if vmax is None else vmax
+    if hi <= lo:
+        return np.zeros_like(field)
+    out = (field - lo) / (hi - lo)
+    out[~finite] = 0.0
+    return np.clip(out, 0.0, 1.0)
+
+
+def render_ascii_map(
+    field: np.ndarray,
+    title: str = "",
+    width: int = 72,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a (lat, lon) field as an ASCII map, north at the top."""
+    field = np.asarray(field)
+    if field.ndim != 2:
+        raise ValueError("expected a 2-d (lat, lon) field")
+    n_lat, n_lon = field.shape
+    width = min(width, n_lon) or n_lon
+    height = max(2, round(n_lat * width / n_lon / 2))  # chars are ~2:1
+    ri = np.linspace(0, n_lat - 1, height).astype(int)
+    ci = np.linspace(0, n_lon - 1, width).astype(int)
+    norm = _normalise(field[np.ix_(ri, ci)], vmin, vmax)
+    glyphs = (norm * (len(_RAMP) - 1)).astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    lo = vmin if vmin is not None else float(np.nanmin(field))
+    hi = vmax if vmax is not None else float(np.nanmax(field))
+    lines.append(f"[{lo:.3g} .. {hi:.3g}]  ({_RAMP[0]!r} low, {_RAMP[-1]!r} high)")
+    for row in glyphs[::-1]:  # flip: index 0 is the south pole
+        lines.append("".join(_RAMP[g] for g in row))
+    return "\n".join(lines)
+
+
+def render_pgm(
+    field: np.ndarray,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> bytes:
+    """Encode a (lat, lon) field as a binary PGM (P5) image."""
+    field = np.asarray(field)
+    if field.ndim != 2:
+        raise ValueError("expected a 2-d (lat, lon) field")
+    norm = _normalise(field, vmin, vmax)[::-1]  # north at top
+    pixels = (norm * 255).astype(np.uint8)
+    header = f"P5\n{pixels.shape[1]} {pixels.shape[0]}\n255\n".encode("ascii")
+    return header + pixels.tobytes()

@@ -1,0 +1,65 @@
+"""Bilinear regridding between regular lat-lon grids.
+
+The TC pipeline's first post-processing step (§5.4: "regridding the
+CMCC-CM3 file") — the CNN expects a fixed input resolution regardless of
+the model grid.  Longitude is treated as periodic; latitudes outside the
+source range clamp to the nearest edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def regrid_bilinear(
+    data: np.ndarray,
+    src_lat: np.ndarray,
+    src_lon: np.ndarray,
+    dst_lat: np.ndarray,
+    dst_lon: np.ndarray,
+) -> np.ndarray:
+    """Bilinearly interpolate *data* onto the destination grid.
+
+    *data* may be ``(lat, lon)`` or ``(..., lat, lon)``; the trailing two
+    axes are regridded.  Source coordinates must be strictly increasing
+    (latitudes) / in [0, 360) (longitudes, assumed uniformly spaced).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    src_lat = np.asarray(src_lat, dtype=np.float64)
+    src_lon = np.asarray(src_lon, dtype=np.float64)
+    dst_lat = np.asarray(dst_lat, dtype=np.float64)
+    dst_lon = np.asarray(dst_lon, dtype=np.float64)
+
+    if data.shape[-2] != src_lat.size or data.shape[-1] != src_lon.size:
+        raise ValueError(
+            f"data trailing shape {data.shape[-2:]} does not match "
+            f"({src_lat.size}, {src_lon.size})"
+        )
+    if np.any(np.diff(src_lat) <= 0):
+        raise ValueError("source latitudes must be strictly increasing")
+
+    # --- latitude: clamp outside the source range -----------------------
+    li = np.searchsorted(src_lat, dst_lat) - 1
+    li = np.clip(li, 0, src_lat.size - 2)
+    lat0 = src_lat[li]
+    lat1 = src_lat[li + 1]
+    wlat = np.clip((dst_lat - lat0) / (lat1 - lat0), 0.0, 1.0)
+
+    # --- longitude: periodic ------------------------------------------------
+    dlon = 360.0 / src_lon.size
+    pos = (dst_lon - src_lon[0]) % 360.0 / dlon
+    gi = np.floor(pos).astype(int) % src_lon.size
+    gi1 = (gi + 1) % src_lon.size
+    wlon = pos - np.floor(pos)
+
+    # Gather the four corners with broadcasting over leading axes.
+    a = data[..., li[:, None], gi[None, :]]
+    b = data[..., li[:, None], gi1[None, :]]
+    c = data[..., li[:, None] + 1, gi[None, :]]
+    d = data[..., li[:, None] + 1, gi1[None, :]]
+
+    wlat2 = wlat[:, None]
+    wlon2 = wlon[None, :]
+    top = a * (1 - wlon2) + b * wlon2
+    bottom = c * (1 - wlon2) + d * wlon2
+    return top * (1 - wlat2) + bottom * wlat2

@@ -1,0 +1,140 @@
+"""Human-readable run reports from workflow summaries.
+
+The workflow's final products in the paper are "plots/maps" plus the
+indices themselves; operational services also publish textual bulletins.
+This module renders the ``run_summary.json`` a workflow writes into a
+Markdown report: per-year extreme-event tables, cross-year trends, TC
+activity and the scheduling/provenance appendix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+
+def _fmt(value: Any, digits: int = 2) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return lines
+
+
+def _trend_per_year(years: List[int], values: List[float]) -> float:
+    if len(years) < 2:
+        return 0.0
+    return float(np.polyfit(years, values, 1)[0])
+
+
+def generate_report(summary: Dict[str, Any], title: str = "Climate extremes run report") -> str:
+    """Render a workflow ``summary`` dict as Markdown.
+
+    Tolerates partial summaries (e.g. runs without ML): sections are
+    emitted only for the data present.
+    """
+    years_section = summary.get("years") or {}
+    if not years_section:
+        raise ValueError("summary has no per-year results")
+    # JSON round-trips turn int keys into strings; accept both.
+    years = sorted(years_section, key=lambda y: int(y))
+
+    lines: List[str] = [f"# {title}", ""]
+    params = summary.get("params", {})
+    if params:
+        lines.append(
+            f"Simulated years: {params.get('years')} — "
+            f"{params.get('n_days')} day(s) each."
+        )
+        lines.append("")
+
+    # --- per-year extremes ------------------------------------------------
+    lines.append("## Heat and cold waves")
+    lines.append("")
+    rows = []
+    hw_fracs, cw_fracs, year_nums = [], [], []
+    for year in years:
+        data = years_section[year]
+        hw = data.get("heat_waves", {})
+        cw = data.get("cold_waves", {})
+        rows.append([
+            year,
+            f"{hw.get('cells_with_waves', 0.0) * 100:.1f}%",
+            int(hw.get("max_duration_days", 0)),
+            f"{cw.get('cells_with_waves', 0.0) * 100:.1f}%",
+            int(cw.get("max_duration_days", 0)),
+        ])
+        year_nums.append(int(year))
+        hw_fracs.append(float(hw.get("cells_with_waves", 0.0)))
+        cw_fracs.append(float(cw.get("cells_with_waves", 0.0)))
+    lines.extend(_table(
+        ["year", "HW cells", "HW longest (d)", "CW cells", "CW longest (d)"],
+        rows,
+    ))
+    lines.append("")
+    if len(years) > 1:
+        lines.append(
+            f"Trend: heat-wave coverage {_fmt(_trend_per_year(year_nums, hw_fracs) * 100, 3)} "
+            f"pp/year, cold-wave coverage "
+            f"{_fmt(_trend_per_year(year_nums, cw_fracs) * 100, 3)} pp/year."
+        )
+        lines.append("")
+
+    # --- tropical cyclones -------------------------------------------------
+    any_tc = any("tc_deterministic" in years_section[y] for y in years)
+    if any_tc:
+        lines.append("## Tropical cyclones")
+        lines.append("")
+        rows = []
+        for year in years:
+            data = years_section[year]
+            det = data.get("tc_deterministic", {})
+            skill = det.get("skill", {})
+            ml = data.get("tc_ml", {})
+            rows.append([
+                year,
+                det.get("n_tracks", 0),
+                _fmt(skill.get("pod", float("nan"))),
+                _fmt(skill.get("far", float("nan"))),
+                ml.get("n_detections", "-"),
+            ])
+        lines.extend(_table(
+            ["year", "tracks", "POD", "FAR", "CNN detections"], rows
+        ))
+        lines.append("")
+
+    # --- execution appendix ------------------------------------------------
+    graph = summary.get("task_graph")
+    schedule = summary.get("schedule")
+    if graph or schedule:
+        lines.append("## Execution")
+        lines.append("")
+        if graph:
+            lines.append(
+                f"Task graph: {graph.get('n_tasks')} tasks, "
+                f"{graph.get('n_edges')} dependencies."
+            )
+        if schedule:
+            lines.append(
+                f"Makespan {_fmt(schedule.get('makespan_s'))} s; "
+                f"simulation/analytics overlap "
+                f"{_fmt(schedule.get('esm_analytics_overlap_s'))} s."
+            )
+        federation = summary.get("federation")
+        if federation:
+            lines.append(
+                f"Federated over {federation.get('sites')} "
+                f"({federation.get('transfers')} DLS transfer(s), "
+                f"{federation.get('bytes_moved', 0) / 1e6:.1f} MB)."
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Result validation: step 5 of the case-study workflow.
+
+"As the processing ... progresses, the output of the analysis is then
+validated and stored on disk."  Validation here means structural and
+physical sanity checks on the index maps before they are persisted —
+catching NaNs, negative counts, and impossible magnitudes at the point
+of production instead of in downstream plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analytics.heatwaves import WaveIndices
+
+
+class ValidationError(ValueError):
+    """An index map failed its sanity checks."""
+
+
+def validate_indices(
+    indices: WaveIndices,
+    n_days: int = 365,
+    min_length_days: int = 6,
+) -> Dict[str, float]:
+    """Validate one year's wave-index maps; returns summary statistics.
+
+    Checks
+    ------
+    * all maps share a shape and are finite;
+    * ``0 <= duration_max <= n_days``; nonzero durations reach the
+      qualifying minimum;
+    * ``0 <= number <= n_days / min_length_days`` (can't fit more
+      disjoint waves than that);
+    * ``0 <= frequency <= 1`` and consistency: a cell with a wave has
+      positive frequency and vice versa.
+    """
+    dm = np.asarray(indices.duration_max)
+    num = np.asarray(indices.number)
+    freq = np.asarray(indices.frequency)
+
+    if not (dm.shape == num.shape == freq.shape):
+        raise ValidationError(
+            f"shape mismatch: {dm.shape} / {num.shape} / {freq.shape}"
+        )
+    for name, arr in (("duration_max", dm), ("number", num), ("frequency", freq)):
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError(f"{name} contains non-finite values")
+
+    if dm.min() < 0 or dm.max() > n_days:
+        raise ValidationError(
+            f"duration_max outside [0, {n_days}]: [{dm.min()}, {dm.max()}]"
+        )
+    nonzero = dm[dm > 0]
+    if nonzero.size and nonzero.min() < min_length_days:
+        raise ValidationError(
+            f"found a qualifying wave shorter ({nonzero.min()}) than the "
+            f"{min_length_days}-day minimum"
+        )
+    max_waves = n_days // min_length_days
+    if num.min() < 0 or num.max() > max_waves:
+        raise ValidationError(
+            f"number outside [0, {max_waves}]: [{num.min()}, {num.max()}]"
+        )
+    if freq.min() < 0 or freq.max() > 1.0 + 1e-12:
+        raise ValidationError(
+            f"frequency outside [0, 1]: [{freq.min()}, {freq.max()}]"
+        )
+    if np.any((num > 0) != (freq > 0)):
+        raise ValidationError("number/frequency inconsistency")
+    if np.any((num > 0) != (dm > 0)):
+        raise ValidationError("number/duration inconsistency")
+
+    return {
+        "cells_with_waves": float((num > 0).mean()),
+        "max_duration_days": float(dm.max()),
+        "max_number": float(num.max()),
+        "mean_frequency": float(freq.mean()),
+    }

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Execute the full extreme-events workflow on a simulated cluster.
+``run-distributed``
+    Execute it across a two-site HPC+Cloud federation.
+``simulate``
+    Run only the ESM, writing daily files (plus ground truth) to a
+    directory.
+``indices``
+    Compute heat-wave index maps from a directory of daily files.
+``info``
+    Print the component inventory and version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--years", type=int, nargs="+", default=[2030])
+    parser.add_argument("--days", type=int, default=30)
+    parser.add_argument("--n-lat", type=int, default=24)
+    parser.add_argument("--n-lon", type=int, default=36)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scenario", default="ssp245")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--min-length", type=int, default=6,
+                        help="minimum wave length in days")
+    parser.add_argument("--with-ml", action="store_true",
+                        help="enable the CNN TC localizer")
+    parser.add_argument("--scratch", default=None,
+                        help="cluster scratch directory (kept after the run)")
+
+
+def _params_from_args(args) -> "WorkflowParams":
+    from repro.workflow import WorkflowParams
+
+    return WorkflowParams(
+        years=args.years, n_days=args.days, n_lat=args.n_lat, n_lon=args.n_lon,
+        n_workers=args.workers, scenario=args.scenario, seed=args.seed,
+        min_length_days=args.min_length, with_ml=args.with_ml,
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.cluster import laptop_like
+    from repro.workflow import run_extreme_events_workflow
+
+    with laptop_like(scratch_root=args.scratch) as cluster:
+        summary = run_extreme_events_workflow(cluster, _params_from_args(args))
+        print(json.dumps(summary, indent=1, default=str))
+        print(f"# artefacts: {cluster.filesystem.root}/results/", file=sys.stderr)
+    return 0
+
+
+def _cmd_run_distributed(args) -> int:
+    from repro.cluster import Cluster, Node
+    from repro.hpcwaas import FederatedDataLogistics, Federation
+    from repro.workflow import run_distributed_extreme_events
+
+    dls = FederatedDataLogistics(wan_bandwidth_mbps=args.wan_mbps)
+    with Federation(dls=dls) as fed:
+        fed.add_site(Cluster("hpc-sim", [Node("h1", 8, 32.0)]),
+                     role="simulation")
+        fed.add_site(Cluster("cloud-sim", [Node("c1", 4, 16.0)]),
+                     role="analytics")
+        summary = run_distributed_extreme_events(fed, _params_from_args(args))
+        print(json.dumps(summary, indent=1, default=str))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.cluster import SharedFilesystem
+    from repro.esm import CMCCCM3, ModelConfig
+
+    fs = SharedFilesystem(args.output)
+    model = CMCCCM3(ModelConfig(
+        n_lat=args.n_lat, n_lon=args.n_lon, scenario=args.scenario,
+        seed=args.seed,
+    ))
+    truth = model.run(args.years, fs, output_dir=".", n_days=args.days)
+    model.write_baseline(fs, path="climatology.rnc", n_days=args.days)
+    for year, events in truth.items():
+        print(f"{year}: {len(events['heat_waves'])} heat waves, "
+              f"{len(events['cold_waves'])} cold waves, "
+              f"{len(events['tropical_cyclones'])} tropical cyclones")
+    print(f"# wrote {len(args.years) * args.days} daily files to {fs.root}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_indices(args) -> int:
+    from repro.analytics import compute_heatwave_indices, render_ascii_map, validate_indices
+    from repro.cluster import SharedFilesystem
+    from repro.netcdf import read_dataset, read_variable
+    import numpy as np
+
+    fs = SharedFilesystem(args.data_dir)
+    day_files = fs.glob(".", "cmcc_cm3_*.rnc")
+    if not day_files:
+        print(f"no cmcc_cm3_*.rnc files in {args.data_dir}", file=sys.stderr)
+        return 2
+    tmax = np.stack([
+        fs.read(path, variables=["TREFHTMX"])["TREFHTMX"].data[0]
+        for path in day_files
+    ])
+    baseline = fs.read(args.baseline, variables=["TMAX_BASELINE"])
+    base = baseline["TMAX_BASELINE"].data[: tmax.shape[0]]
+    indices = compute_heatwave_indices(
+        tmax.astype(np.float64), base.astype(np.float64),
+        min_length_days=args.min_length,
+    )
+    stats = validate_indices(indices, n_days=tmax.shape[0],
+                             min_length_days=args.min_length)
+    print(render_ascii_map(indices.number, title="Heat Wave Number"))
+    print(json.dumps(stats, indent=1))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analytics import generate_report
+
+    with open(args.summary) as fh:
+        summary = json.load(fh)
+    print(generate_report(summary, title=args.title))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+
+    components = {
+        "compss": "PyCOMPSs-style task runtime",
+        "ophidia": "datacube HPDA framework",
+        "esm": "coupled CMCC-CM3-like simulator",
+        "ml": "NumPy CNN for TC localization",
+        "analytics": "climate indices + TC tracking",
+        "hpcwaas": "eFlows4HPC orchestration stack",
+        "cluster": "simulated LSF cluster + shared FS",
+        "netcdf": "RNC container format",
+        "workflow": "the extreme-events case study",
+    }
+    print(f"repro {getattr(repro, '__version__', '1.0.0')} — "
+          "End-to-End Workflows for Climate Science (SC-W 2023) reproduction")
+    for name, desc in components.items():
+        print(f"  repro.{name:10s} {desc}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full workflow")
+    _add_workflow_args(run)
+    run.set_defaults(fn=_cmd_run)
+
+    dist = sub.add_parser("run-distributed", help="run across a federation")
+    _add_workflow_args(dist)
+    dist.add_argument("--wan-mbps", type=float, default=200.0)
+    dist.set_defaults(fn=_cmd_run_distributed)
+
+    sim = sub.add_parser("simulate", help="run only the ESM")
+    sim.add_argument("output", help="output directory for daily files")
+    sim.add_argument("--years", type=int, nargs="+", default=[2030])
+    sim.add_argument("--days", type=int, default=30)
+    sim.add_argument("--n-lat", type=int, default=24)
+    sim.add_argument("--n-lon", type=int, default=36)
+    sim.add_argument("--scenario", default="ssp245")
+    sim.add_argument("--seed", type=int, default=42)
+    sim.set_defaults(fn=_cmd_simulate)
+
+    idx = sub.add_parser("indices", help="heat-wave indices from daily files")
+    idx.add_argument("data_dir", help="directory with cmcc_cm3_*.rnc files")
+    idx.add_argument("--baseline", default="climatology.rnc",
+                     help="baseline file (relative to data_dir)")
+    idx.add_argument("--min-length", type=int, default=6)
+    idx.set_defaults(fn=_cmd_indices)
+
+    report = sub.add_parser("report", help="Markdown report from a run summary")
+    report.add_argument("summary", help="path to a run_summary.json")
+    report.add_argument("--title", default="Climate extremes run report")
+    report.set_defaults(fn=_cmd_report)
+
+    info = sub.add_parser("info", help="component inventory")
+    info.set_defaults(fn=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""The assembled simulated cluster: nodes + scheduler + shared filesystem."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import List, Optional, Sequence
+
+from repro.cluster.filesystem import SharedFilesystem
+from repro.cluster.lsf import LSFScheduler
+from repro.cluster.node import Node
+
+
+class Cluster:
+    """A named HPC system: compute nodes, batch scheduler, shared scratch.
+
+    Parameters
+    ----------
+    name:
+        System name (e.g. ``"zeus-sim"``); surfaces in TOSCA endpoints.
+    nodes:
+        The compute nodes.
+    scratch_root:
+        Directory backing the shared filesystem.  A temporary directory is
+        created (and owned by the cluster) when omitted.
+    backfill:
+        Scheduler backfill policy, see :class:`LSFScheduler`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nodes: Sequence[Node],
+        scratch_root: Optional[str] = None,
+        backfill: bool = True,
+    ) -> None:
+        self.name = name
+        self.nodes: List[Node] = list(nodes)
+        self._owns_scratch = scratch_root is None
+        if scratch_root is None:
+            scratch_root = tempfile.mkdtemp(prefix=f"{name}-scratch-")
+        self.filesystem = SharedFilesystem(scratch_root)
+        self.scheduler = LSFScheduler(self.nodes, backfill=backfill)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.cores for n in self.nodes)
+
+    @property
+    def total_memory_gb(self) -> float:
+        return sum(n.memory_gb for n in self.nodes)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the scheduler; keeps the scratch directory contents."""
+        self.scheduler.shutdown(wait=wait)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Cluster {self.name}: {len(self.nodes)} nodes, "
+            f"{self.total_cores} cores, {self.total_memory_gb:.0f}GB>"
+        )
+
+
+def zeus_like(
+    scratch_root: Optional[str] = None,
+    n_nodes: int = 8,
+    cores_per_node: int = 36,
+    memory_gb_per_node: float = 96.0,
+) -> Cluster:
+    """A scaled-down Zeus: the real system has 348 nodes x 36 cores.
+
+    Eight nodes preserve the scheduling dynamics (multi-node placement,
+    queueing under contention) at a size laptops can execute.
+    """
+    nodes = [
+        Node(f"zeus{n:03d}", cores_per_node, memory_gb_per_node)
+        for n in range(1, n_nodes + 1)
+    ]
+    return Cluster("zeus-sim", nodes, scratch_root=scratch_root)
+
+
+def laptop_like(scratch_root: Optional[str] = None) -> Cluster:
+    """A minimal 2-node cluster for unit tests and the quickstart example."""
+    cores = max(2, (os.cpu_count() or 2) // 2)
+    nodes = [Node(f"local{n}", cores, 8.0) for n in (1, 2)]
+    return Cluster("laptop-sim", nodes, scratch_root=scratch_root)

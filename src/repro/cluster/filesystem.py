@@ -1,0 +1,158 @@
+"""A GPFS-like shared filesystem with I/O accounting.
+
+Backed by a real directory so that the RNC files the simulated ESM writes
+are genuine files the downstream analytics read back.  All access goes
+through this object, which counts operations and bytes; experiment C2
+("in-memory baseline reuse reduces storage reads") is measured with these
+counters.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.netcdf import Dataset, read_dataset, write_dataset
+from repro.netcdf.io import read_header
+
+
+@dataclass
+class FilesystemStats:
+    """Cumulative operation counters for a shared filesystem."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    lists: int = 0
+    deletes: int = 0
+
+    def snapshot(self) -> "FilesystemStats":
+        return FilesystemStats(
+            self.reads, self.writes, self.bytes_read,
+            self.bytes_written, self.lists, self.deletes,
+        )
+
+    def delta(self, earlier: "FilesystemStats") -> "FilesystemStats":
+        """Counters accumulated since *earlier* (an older snapshot)."""
+        return FilesystemStats(
+            self.reads - earlier.reads,
+            self.writes - earlier.writes,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+            self.lists - earlier.lists,
+            self.deletes - earlier.deletes,
+        )
+
+
+class SharedFilesystem:
+    """Shared parallel-filesystem facade over a root directory.
+
+    Paths given to the API are *relative* to the filesystem root and use
+    ``/`` separators, mirroring how workflow code addresses a scratch
+    space (``output/year_2015/day_001.rnc``).
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = FilesystemStats()
+        self._lock = threading.Lock()
+
+    # -- path handling -----------------------------------------------------
+
+    def _resolve(self, rel_path: str) -> str:
+        full = os.path.abspath(os.path.join(self.root, rel_path))
+        if not full.startswith(self.root + os.sep) and full != self.root:
+            raise ValueError(f"path {rel_path!r} escapes the filesystem root")
+        return full
+
+    def path(self, rel_path: str) -> str:
+        """Absolute host path of *rel_path* (for passing to external code)."""
+        return self._resolve(rel_path)
+
+    # -- dataset I/O ---------------------------------------------------------
+
+    def write(self, rel_path: str, dataset: Dataset) -> int:
+        """Write an RNC dataset; returns bytes written."""
+        full = self._resolve(rel_path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        nbytes = write_dataset(dataset, full)
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        return nbytes
+
+    def read(self, rel_path: str, variables=None) -> Dataset:
+        """Read an RNC dataset (optionally a variable subset)."""
+        full = self._resolve(rel_path)
+        ds = read_dataset(full, variables=variables)
+        with self._lock:
+            self.stats.reads += 1
+            self.stats.bytes_read += ds.nbytes
+        return ds
+
+    def read_header(self, rel_path: str) -> dict:
+        """Read only the metadata header; counts as a (cheap) read."""
+        full = self._resolve(rel_path)
+        header = read_header(full)
+        with self._lock:
+            self.stats.reads += 1
+        return header
+
+    # -- raw bytes (checkpoints, logs, images) --------------------------------
+
+    def write_bytes(self, rel_path: str, payload: bytes) -> int:
+        full = self._resolve(rel_path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "wb") as fh:
+            n = fh.write(payload)
+        with self._lock:
+            self.stats.writes += 1
+            self.stats.bytes_written += n
+        return n
+
+    def read_bytes(self, rel_path: str) -> bytes:
+        full = self._resolve(rel_path)
+        with open(full, "rb") as fh:
+            payload = fh.read()
+        with self._lock:
+            self.stats.reads += 1
+            self.stats.bytes_read += len(payload)
+        return payload
+
+    # -- namespace ops ---------------------------------------------------------
+
+    def exists(self, rel_path: str) -> bool:
+        return os.path.exists(self._resolve(rel_path))
+
+    def makedirs(self, rel_path: str) -> None:
+        os.makedirs(self._resolve(rel_path), exist_ok=True)
+
+    def listdir(self, rel_path: str = ".") -> List[str]:
+        """Sorted directory listing; empty if the directory doesn't exist."""
+        full = self._resolve(rel_path)
+        with self._lock:
+            self.stats.lists += 1
+        if not os.path.isdir(full):
+            return []
+        return sorted(os.listdir(full))
+
+    def glob(self, rel_dir: str, pattern: str) -> List[str]:
+        """Sorted relative paths under *rel_dir* matching *pattern*."""
+        entries = self.listdir(rel_dir)
+        matched = fnmatch.filter(entries, pattern)
+        prefix = "" if rel_dir in (".", "") else rel_dir.rstrip("/") + "/"
+        return [prefix + name for name in matched]
+
+    def delete(self, rel_path: str) -> None:
+        full = self._resolve(rel_path)
+        os.remove(full)
+        with self._lock:
+            self.stats.deletes += 1
+
+    def size(self, rel_path: str) -> int:
+        return os.path.getsize(self._resolve(rel_path))

@@ -1,0 +1,334 @@
+"""An LSF-flavoured batch scheduler for the simulated cluster.
+
+Jobs are Python callables submitted with ``bsub``-style semantics: a
+resource request (cores, memory), FCFS dispatch with optional backfill,
+and ``bjobs`` / ``bkill`` / ``wait`` introspection.  Running jobs occupy
+node allocations and execute on real threads, so a job that performs
+NumPy work genuinely runs in parallel with others (NumPy releases the
+GIL for array kernels).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.node import Allocation, Node
+
+
+class JobState(enum.Enum):
+    """Lifecycle states, mirroring LSF's PEND/RUN/DONE/EXIT."""
+
+    PEND = "PEND"
+    RUN = "RUN"
+    DONE = "DONE"
+    EXIT = "EXIT"
+    KILLED = "KILLED"
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """Per-job resource demand (``bsub -n ... -R rusage[mem=...]``)."""
+
+    cores: int = 1
+    memory_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"jobs need >= 1 core, got {self.cores}")
+        if self.memory_gb < 0:
+            raise ValueError("memory request must be non-negative")
+
+
+@dataclass(frozen=True)
+class Queue:
+    """A batch queue (``bsub -q``): dispatch priority + runtime limit.
+
+    Higher *priority* dispatches first.  *max_runtime_s* is the queue's
+    wall-clock limit; enforcement is cooperative (threads cannot be
+    killed): jobs finishing over the limit are flagged ``timed_out`` and
+    reported like LSF's ``TERM_RUNLIMIT``.
+    """
+
+    name: str
+    priority: int = 0
+    max_runtime_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_runtime_s is not None and self.max_runtime_s <= 0:
+            raise ValueError("max_runtime_s must be positive")
+
+
+#: The queue layout of the simulated Zeus system.
+DEFAULT_QUEUES = (
+    Queue("p_short", priority=20, max_runtime_s=600.0),
+    Queue("p_medium", priority=10, max_runtime_s=6 * 3600.0),
+    Queue("p_long", priority=0, max_runtime_s=None),
+)
+
+
+class JobError(RuntimeError):
+    """Raised by :meth:`Job.wait` when the job body raised."""
+
+
+class Job:
+    """A submitted batch job.
+
+    Not constructed directly; returned by :meth:`LSFScheduler.bsub`.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        name: str,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        request: ResourceRequest,
+        queue: Optional[Queue] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.name = name
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.request = request
+        self.queue = queue
+        self.timed_out = False
+        self.state = JobState.PEND
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.node_name: Optional[str] = None
+        self.submit_time = time.monotonic()
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self._done = threading.Event()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes; return its result.
+
+        Raises
+        ------
+        JobError
+            If the job body raised (the original exception is chained) or
+            the job was killed.
+        TimeoutError
+            If *timeout* elapses first.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} ({self.name}) still {self.state.value}")
+        if self.state is JobState.DONE:
+            return self.result
+        if self.exception is not None:
+            raise JobError(f"job {self.job_id} ({self.name}) failed") from self.exception
+        raise JobError(f"job {self.job_id} ({self.name}) was killed")
+
+    @property
+    def runtime_seconds(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Job {self.job_id} {self.name!r} {self.state.value}>"
+
+
+class LSFScheduler:
+    """FCFS batch scheduler with optional backfill over a set of nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Compute nodes to schedule onto.
+    backfill:
+        When True (default), a pending job that cannot fit is skipped and
+        later, smaller jobs may start ahead of it — LSF's backfill
+        behaviour.  When False, strict FCFS: the head of the queue blocks
+        everyone behind it.
+    """
+
+    _job_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        backfill: bool = True,
+        queues: Optional[Sequence[Queue]] = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("scheduler needs at least one node")
+        self.nodes: List[Node] = list(nodes)
+        self.backfill = backfill
+        self.queues: Dict[str, Queue] = {
+            q.name: q for q in (queues if queues is not None else DEFAULT_QUEUES)
+        }
+        if not self.queues:
+            raise ValueError("scheduler needs at least one queue")
+        self._default_queue = max(self.queues.values(), key=lambda q: q.priority)
+        self._pending: List[Job] = []
+        self._jobs: Dict[int, Job] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._shutdown = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="lsf-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission API -----------------------------------------------------
+
+    def bsub(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        name: str = "job",
+        cores: int = 1,
+        memory_gb: float = 0.0,
+        queue: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Job:
+        """Submit *fn(\\*args, \\*\\*kwargs)* as a batch job; returns the Job.
+
+        *queue* selects a configured queue (``bsub -q``); higher-priority
+        queues dispatch first.  Default: the highest-priority queue.
+        """
+        if queue is None:
+            job_queue = self._default_queue
+        else:
+            job_queue = self.queues.get(queue)
+            if job_queue is None:
+                raise ValueError(
+                    f"unknown queue {queue!r}; configured: {sorted(self.queues)}"
+                )
+        job = Job(
+            next(self._job_ids), name, fn, args, kwargs,
+            ResourceRequest(cores=cores, memory_gb=memory_gb),
+            queue=job_queue,
+        )
+        max_cores = max(n.cores for n in self.nodes)
+        max_mem = max(n.memory_gb for n in self.nodes)
+        if job.request.cores > max_cores or job.request.memory_gb > max_mem:
+            raise ValueError(
+                f"job {name!r} requests cores={job.request.cores} "
+                f"mem={job.request.memory_gb}GB, exceeding the largest node "
+                f"(cores={max_cores}, mem={max_mem}GB)"
+            )
+        with self._wake:
+            if self._shutdown:
+                raise RuntimeError("scheduler is shut down")
+            self._pending.append(job)
+            self._jobs[job.job_id] = job
+            self._wake.notify_all()
+        return job
+
+    def bjobs(self, state: Optional[JobState] = None) -> List[Job]:
+        """All known jobs, optionally filtered by state, in submit order."""
+        with self._lock:
+            jobs = sorted(self._jobs.values(), key=lambda j: j.job_id)
+        if state is None:
+            return jobs
+        return [j for j in jobs if j.state is state]
+
+    def bkill(self, job_id: int) -> bool:
+        """Kill a pending job.  Running jobs cannot be preempted (threads);
+        returns False for them, True if the job was dequeued."""
+        with self._wake:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job id {job_id}")
+            if job.state is JobState.PEND:
+                self._pending.remove(job)
+                job.state = JobState.KILLED
+                job._done.set()
+                return True
+            return False
+
+    def wait_all(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted job has reached a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in self.bjobs():
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not job._done.wait(remaining):
+                raise TimeoutError(f"job {job.job_id} did not finish in time")
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop dispatching.  With *wait*, block for running jobs first."""
+        if wait:
+            self.wait_all()
+        with self._wake:
+            self._shutdown = True
+            for job in self._pending:
+                job.state = JobState.KILLED
+                job._done.set()
+            self._pending.clear()
+            self._wake.notify_all()
+        self._dispatcher.join(timeout=5)
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _try_place(self, job: Job) -> Optional[Allocation]:
+        """First-fit placement across nodes."""
+        for node in self.nodes:
+            alloc = node.allocate(job.request.cores, job.request.memory_gb)
+            if alloc is not None:
+                return alloc
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._shutdown:
+                    return
+                started_any = self._dispatch_once_locked()
+                if not started_any:
+                    self._wake.wait(timeout=0.05)
+
+    def _dispatch_once_locked(self) -> bool:
+        """One scheduling pass: queue priority first, then submit order.
+
+        Caller holds the lock.
+        """
+        started = False
+        ordered = sorted(
+            self._pending,
+            key=lambda j: (-(j.queue.priority if j.queue else 0), j.job_id),
+        )
+        for job in ordered:
+            alloc = self._try_place(job)
+            if alloc is None:
+                if not self.backfill:
+                    break  # strict FCFS: head of queue blocks the rest
+                continue
+            self._pending.remove(job)
+            self._start(job, alloc)
+            started = True
+        return started
+
+    def _start(self, job: Job, alloc: Allocation) -> None:
+        job.state = JobState.RUN
+        job.node_name = alloc.node_name
+        job.start_time = time.monotonic()
+        node = next(n for n in self.nodes if n.name == alloc.node_name)
+
+        def body() -> None:
+            try:
+                job.result = job.fn(*job.args, **job.kwargs)
+                job.state = JobState.DONE
+            except BaseException as exc:  # noqa: BLE001 - report to waiter
+                job.exception = exc
+                job.state = JobState.EXIT
+            finally:
+                job.end_time = time.monotonic()
+                limit = job.queue.max_runtime_s if job.queue else None
+                if limit is not None and job.runtime_seconds > limit:
+                    job.timed_out = True  # LSF TERM_RUNLIMIT analogue
+                node.release(alloc)
+                job._done.set()
+                with self._wake:
+                    self._wake.notify_all()
+
+        threading.Thread(target=body, name=f"lsf-job-{job.job_id}", daemon=True).start()

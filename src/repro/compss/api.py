@@ -1,0 +1,211 @@
+"""Public PyCOMPSs-style API: decorators and synchronisation calls.
+
+Usage mirrors the snippets in the paper's Listing 1::
+
+    from repro.compss import task, compss_wait_on, COMPSs, INOUT
+
+    @task(returns=object)
+    def index_duration_max(client, duration, filename):
+        ...
+
+    with COMPSs(n_workers=8):
+        result = index_duration_max(client, duration, "out.rnc")
+        value = compss_wait_on(result)
+
+Outside an active runtime, ``@task`` functions run synchronously (like
+executing a PyCOMPSs application without ``runcompss``), which keeps
+every task body directly unit-testable.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import threading
+from typing import Any, Dict, Optional
+
+from repro.compss.failures import OnFailure
+from repro.compss.parameter import Direction
+from repro.compss.runtime import COMPSsRuntime, RuntimeConfig, in_worker
+
+_state = threading.local()
+_global_runtime: Optional[COMPSsRuntime] = None
+_global_lock = threading.Lock()
+
+
+def get_runtime() -> Optional[COMPSsRuntime]:
+    """The currently active runtime, or ``None`` in sequential mode."""
+    return _global_runtime
+
+
+def compss_start(**config_kwargs: Any) -> COMPSsRuntime:
+    """Start a global runtime (idempotent start raises; stop first)."""
+    global _global_runtime
+    with _global_lock:
+        if _global_runtime is not None:
+            raise RuntimeError("a COMPSs runtime is already active")
+        _global_runtime = COMPSsRuntime(RuntimeConfig(**config_kwargs))
+        return _global_runtime
+
+
+def compss_stop(wait: bool = True) -> None:
+    """Stop the global runtime; no-op when none is active."""
+    global _global_runtime
+    with _global_lock:
+        runtime, _global_runtime = _global_runtime, None
+    if runtime is not None:
+        runtime.stop(wait=wait)
+
+
+class COMPSs:
+    """Context manager for a scoped runtime::
+
+        with COMPSs(n_workers=4) as rt:
+            ...
+            compss_barrier()
+
+    On exit the runtime drains (barrier) and shuts down; task failures
+    with the FAIL policy surface as exceptions at the exit barrier.
+    """
+
+    def __init__(self, **config_kwargs: Any) -> None:
+        self._kwargs = config_kwargs
+        self.runtime: Optional[COMPSsRuntime] = None
+
+    def __enter__(self) -> COMPSsRuntime:
+        self.runtime = compss_start(**self._kwargs)
+        return self.runtime
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None and self.runtime is not None:
+                self.runtime.barrier()
+        finally:
+            compss_stop(wait=exc_type is None)
+
+
+def compss_wait_on(obj: Any, timeout: Optional[float] = None) -> Any:
+    """Synchronise on futures (recursively through lists/tuples/dicts).
+
+    In sequential mode values pass through unchanged.
+    """
+    runtime = get_runtime()
+    if runtime is None:
+        return obj
+    return runtime.wait_on(obj, timeout=timeout)
+
+
+def compss_barrier(timeout: Optional[float] = None) -> None:
+    """Block until all submitted tasks finish; re-raises workflow failure."""
+    runtime = get_runtime()
+    if runtime is not None:
+        runtime.barrier(timeout=timeout)
+
+
+def task(
+    returns: Any = 0,
+    on_failure: Any = OnFailure.FAIL,
+    max_retries: int = 2,
+    priority: bool = False,
+    label: Optional[str] = None,
+    **param_directions: Direction,
+):
+    """Declare a Python function as a workflow task.
+
+    Parameters
+    ----------
+    returns:
+        Number of return values.  Accepts an int, or — for PyCOMPSs
+        source compatibility — a type (``returns=object``) meaning 1.
+    on_failure:
+        :class:`~repro.compss.failures.OnFailure` policy or its name
+        (``"RETRY"``, ``"IGNORE"``, ...).
+    max_retries:
+        Re-execution budget for the RETRY policy.
+    priority:
+        Scheduling hint honoured by :class:`PriorityPolicy`.
+    label:
+        Display name override in graphs and traces.
+    **param_directions:
+        Per-parameter directions, e.g. ``data=INOUT, out_path=FILE_OUT``.
+        Undeclared parameters default to ``IN``.
+    """
+    if isinstance(returns, int):
+        n_returns = returns
+    elif returns is None:
+        n_returns = 0
+    else:
+        n_returns = 1  # returns=object / returns=list style declarations
+    if n_returns < 0:
+        raise ValueError("returns must be >= 0")
+    policy = OnFailure.coerce(on_failure)
+
+    for name, direction in param_directions.items():
+        if not isinstance(direction, Direction):
+            raise TypeError(
+                f"direction for parameter {name!r} must be a Direction, "
+                f"got {type(direction).__name__}"
+            )
+
+    def decorator(fn):
+        try:
+            sig_params = list(inspect.signature(fn).parameters)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            sig_params = []
+        unknown = set(param_directions) - set(sig_params)
+        if unknown:
+            raise TypeError(
+                f"@task on {fn.__name__!r}: directions declared for unknown "
+                f"parameters {sorted(unknown)}"
+            )
+        constraint_units = getattr(fn, "_compss_computing_units", 1)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            runtime = get_runtime()
+            if runtime is None or in_worker():
+                # Sequential mode / nested call inside a worker.
+                return fn(*args, **kwargs)
+            return runtime.submit(
+                fn,
+                func_name=fn.__name__,
+                args=args,
+                kwargs=kwargs,
+                directions=dict(param_directions),
+                param_names=sig_params,
+                n_returns=n_returns,
+                on_failure=policy,
+                max_retries=max_retries,
+                computing_units=getattr(wrapper, "_compss_computing_units", constraint_units),
+                priority=priority,
+                label=label,
+            )
+
+        wrapper._compss_task = True
+        wrapper._compss_computing_units = constraint_units
+        wrapper._compss_fn = fn
+        return wrapper
+
+    return decorator
+
+
+def constraint(computing_units: int = 1, **_ignored: Any):
+    """Attach resource constraints to a task (PyCOMPSs ``@constraint``).
+
+    Apply *above* ``@task``::
+
+        @constraint(computing_units=4)
+        @task(returns=1)
+        def heavy(x): ...
+
+    Unknown constraint keys (``processor_architecture`` etc.) are
+    accepted and ignored, as on homogeneous clusters.
+    """
+    if computing_units < 1:
+        raise ValueError("computing_units must be >= 1")
+
+    def decorator(fn):
+        fn._compss_computing_units = computing_units
+        return fn
+
+    return decorator

@@ -1,0 +1,58 @@
+"""Task-level fault tolerance policies (Ejarque et al. 2020).
+
+PyCOMPSs lets the programmer state, per task, how the runtime reacts to a
+task raising: re-run it, ignore the failure and continue with ``None``
+outputs, cancel the task's successors but keep the rest of the workflow
+alive, or fail the workflow.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OnFailure(enum.Enum):
+    """Reaction to a task raising an exception."""
+
+    #: Fail the task and, transitively, everything that depends on it;
+    #: ``compss_wait_on`` re-raises.  This is the default.
+    FAIL = "FAIL"
+    #: Re-execute the task up to ``max_retries`` times, then behave as FAIL.
+    RETRY = "RETRY"
+    #: Swallow the exception; the task completes with ``None`` results.
+    IGNORE = "IGNORE"
+    #: Fail the task, cancel its transitive successors, but let the rest
+    #: of the workflow finish.
+    CANCEL_SUCCESSORS = "CANCEL_SUCCESSORS"
+
+    @classmethod
+    def coerce(cls, value) -> "OnFailure":
+        """Accept an OnFailure or its (case-insensitive) string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown on_failure policy {value!r}; "
+                f"expected one of {[m.name for m in cls]}"
+            ) from None
+
+
+class TaskFailedError(RuntimeError):
+    """Synchronising on a datum whose producer failed."""
+
+    def __init__(self, task_id: int, func_name: str, cause: BaseException) -> None:
+        super().__init__(f"task {task_id} ({func_name}) failed: {cause!r}")
+        self.task_id = task_id
+        self.func_name = func_name
+        self.__cause__ = cause
+
+
+class TaskCancelledError(RuntimeError):
+    """Synchronising on a datum whose producer was cancelled."""
+
+    def __init__(self, task_id: int, func_name: str) -> None:
+        super().__init__(f"task {task_id} ({func_name}) was cancelled")
+        self.task_id = task_id
+        self.func_name = func_name

@@ -1,0 +1,228 @@
+"""The ``@mpi`` task decorator and an in-process mini-MPI.
+
+§4.2.1 of the paper: PyCOMPSs tasks can "integrate with other
+programming paradigms including other decorators (such as @mpi)" — a
+task may itself be an MPI program spanning several processes.  Without
+``mpirun`` offline, this module provides a faithful in-process stand-in:
+
+* :class:`MiniComm` — a communicator over *threads* with the core MPI
+  collective semantics (``barrier``, ``bcast``, ``scatter``, ``gather``,
+  ``allgather``, ``reduce``, ``allreduce``, ``send``/``recv``
+  point-to-point);
+* :func:`mpi` — a decorator that launches the wrapped function once per
+  rank, passing the communicator as the first argument, and returns the
+  list of per-rank return values (or only the root's, matching common
+  ``@mpi`` usage).
+
+Composes with ``@task``: apply ``@task`` *above* ``@mpi`` so the whole
+MPI execution becomes one workflow task::
+
+    @task(returns=1)
+    @mpi(processes=4)
+    def parallel_stats(comm, data):
+        chunk = comm.scatter([...], root=0)
+        ...
+        return comm.reduce(partial, op="sum", root=0)
+"""
+
+from __future__ import annotations
+
+import functools
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+_REDUCERS: Dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+    "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+}
+
+
+class MPIError(RuntimeError):
+    """Collective misuse (bad rank, unknown op) or a failed rank."""
+
+
+class _Shared:
+    """State shared by all ranks of one execution."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.lock = threading.Lock()
+        # Point-to-point mailboxes: (src, dst, tag) -> queue.
+        self.mailboxes: Dict[tuple, queue.Queue] = {}
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self.lock:
+            box = self.mailboxes.get(key)
+            if box is None:
+                box = self.mailboxes[key] = queue.Queue()
+            return box
+
+
+class MiniComm:
+    """One rank's view of the communicator."""
+
+    def __init__(self, rank: int, shared: _Shared) -> None:
+        self._rank = rank
+        self._shared = shared
+
+    # -- introspection (MPI-style names) ---------------------------------
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._shared.size
+
+    rank = property(Get_rank)
+    size = property(Get_size)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self._shared.size:
+            raise MPIError(f"root {root} outside communicator of size {self._shared.size}")
+
+    # -- collectives -----------------------------------------------------
+
+    def barrier(self, timeout: float = 30.0) -> None:
+        try:
+            self._shared.barrier.wait(timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError("barrier broken (a rank failed or timed out)") from exc
+
+    def bcast(self, value: Any = None, root: int = 0) -> Any:
+        """Root's value is returned on every rank."""
+        self._check_root(root)
+        if self._rank == root:
+            self._shared.slots[root] = value
+        self.barrier()
+        out = self._shared.slots[root]
+        self.barrier()  # nobody reuses slots before all have read
+        return out
+
+    def scatter(self, values: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Rank i receives ``values[i]`` from the root."""
+        self._check_root(root)
+        if self._rank == root:
+            if values is None or len(values) != self._shared.size:
+                self._shared.slots[root] = MPIError(
+                    f"scatter needs exactly {self._shared.size} values"
+                )
+            else:
+                self._shared.slots[root] = list(values)
+        self.barrier()
+        payload = self._shared.slots[root]
+        self.barrier()
+        if isinstance(payload, MPIError):
+            raise payload
+        return payload[self._rank]
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        """Root receives ``[rank0, rank1, ...]``; others get ``None``."""
+        self._check_root(root)
+        self._shared.slots[self._rank] = value
+        self.barrier()
+        out = list(self._shared.slots) if self._rank == root else None
+        self.barrier()
+        return out
+
+    def allgather(self, value: Any) -> List[Any]:
+        self._shared.slots[self._rank] = value
+        self.barrier()
+        out = list(self._shared.slots)
+        self.barrier()
+        return out
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Optional[Any]:
+        gathered = self.gather(value, root=root)
+        if gathered is None:
+            return None
+        return self._fold(gathered, op)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        return self._fold(self.allgather(value), op)
+
+    @staticmethod
+    def _fold(values: List[Any], op: str) -> Any:
+        reducer = _REDUCERS.get(op)
+        if reducer is None:
+            raise MPIError(f"unknown reduce op {op!r}; expected {sorted(_REDUCERS)}")
+        acc = values[0]
+        for value in values[1:]:
+            acc = reducer(acc, value)
+        return acc
+
+    # -- point-to-point ----------------------------------------------------
+
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self._shared.size:
+            raise MPIError(f"dest {dest} outside communicator")
+        self._shared.mailbox(self._rank, dest, tag).put(value)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        if not 0 <= source < self._shared.size:
+            raise MPIError(f"source {source} outside communicator")
+        try:
+            return self._shared.mailbox(source, self._rank, tag).get(timeout=timeout)
+        except queue.Empty as exc:
+            raise MPIError(
+                f"recv from rank {source} (tag {tag}) timed out"
+            ) from exc
+
+
+def mpi(processes: int = 2, root_only: bool = False):
+    """Run the decorated function once per rank on an in-process comm.
+
+    The function receives the :class:`MiniComm` as its first argument.
+    Returns the list of per-rank results, or only rank 0's when
+    *root_only* (common when the root gathers the answer).
+
+    Any rank raising breaks all pending barriers and re-raises the first
+    failure, so a crashed rank cannot deadlock the execution.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+
+    def decorator(fn):
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            shared = _Shared(processes)
+            results: List[Any] = [None] * processes
+            errors: List[BaseException] = []
+            error_lock = threading.Lock()
+
+            def body(rank: int) -> None:
+                comm = MiniComm(rank, shared)
+                try:
+                    results[rank] = fn(comm, *args, **kwargs)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with error_lock:
+                        errors.append(exc)
+                    shared.barrier.abort()  # unblock peers
+
+            threads = [
+                threading.Thread(target=body, args=(rank,),
+                                 name=f"mpi-rank-{rank}", daemon=True)
+                for rank in range(processes)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                first = errors[0]
+                if isinstance(first, MPIError):
+                    raise first
+                raise MPIError(f"rank failed: {first!r}") from first
+            return results[0] if root_only else list(results)
+
+        wrapper._compss_mpi_processes = processes
+        return wrapper
+
+    return decorator

@@ -1,0 +1,54 @@
+"""Parameter directionality declarations.
+
+PyCOMPSs tasks declare, per parameter, how the task uses the data:
+
+* ``IN`` — read-only (the default for every undeclared parameter);
+* ``OUT`` — created by the task;
+* ``INOUT`` — read and mutated in place;
+* ``FILE_IN`` / ``FILE_OUT`` / ``FILE_INOUT`` — the parameter is a *path*
+  and the dependency is carried by the file behind it, not the string.
+
+Directions drive the runtime's dependency analysis: a task reading a
+datum depends on its last writer; a task writing a datum becomes its new
+last writer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Direction(enum.Enum):
+    """How a task parameter is accessed."""
+
+    IN = "IN"
+    OUT = "OUT"
+    INOUT = "INOUT"
+    FILE_IN = "FILE_IN"
+    FILE_OUT = "FILE_OUT"
+    FILE_INOUT = "FILE_INOUT"
+
+    @property
+    def is_file(self) -> bool:
+        return self in (Direction.FILE_IN, Direction.FILE_OUT, Direction.FILE_INOUT)
+
+    @property
+    def reads(self) -> bool:
+        return self in (
+            Direction.IN, Direction.INOUT, Direction.FILE_IN, Direction.FILE_INOUT
+        )
+
+    @property
+    def writes(self) -> bool:
+        return self in (
+            Direction.OUT, Direction.INOUT, Direction.FILE_OUT, Direction.FILE_INOUT
+        )
+
+
+#: Module-level aliases matching the PyCOMPSs API surface.
+IN = Direction.IN
+OUT = Direction.OUT
+INOUT = Direction.INOUT
+FILE_IN = Direction.FILE_IN
+FILE_OUT = Direction.FILE_OUT
+FILE_INOUT = Direction.FILE_INOUT

@@ -1,0 +1,125 @@
+"""Online diagnostics computed during the model run (the paper's §3).
+
+"In some cases, a part of the analysis is already performed online
+during model simulations with the goal of pre-computing some relevant
+statistics or simple indicators useful for validating the results
+(e.g., diagnostics)."  The recorder consumes each daily dataset as the
+model produces it and accumulates lightweight indicators:
+
+* area-weighted global-mean surface temperature,
+* top-of-atmosphere energy imbalance (FSNT - FLNT),
+* global minimum sea-level pressure (storm activity proxy),
+* total precipitation,
+* sea-ice area fraction,
+
+plus simple physical validation (finite fields, TMAX ≥ TMIN, pressure
+within plausible bounds).  The record is JSON-serialisable so it can be
+stored next to the run as the paper's validation artefact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.esm.grid import Grid
+from repro.netcdf import Dataset
+
+
+class DiagnosticsError(ValueError):
+    """A daily state violated a physical sanity bound."""
+
+
+@dataclass
+class DiagnosticsRecorder:
+    """Accumulates per-day global indicators for one run."""
+
+    grid: Grid
+    validate: bool = True
+
+    days: List[int] = field(default_factory=list)
+    global_mean_t: List[float] = field(default_factory=list)
+    toa_imbalance: List[float] = field(default_factory=list)
+    min_psl: List[float] = field(default_factory=list)
+    total_precip: List[float] = field(default_factory=list)
+    ice_fraction: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        weights = self.grid.cell_area_km2
+        self._weights = weights / weights.sum()
+
+    def _wmean(self, field2d: np.ndarray) -> float:
+        return float((field2d * self._weights).sum())
+
+    def record_day(self, doy: int, ds: Dataset) -> None:
+        """Consume one daily dataset (called from the model loop)."""
+        t2m = ds["TREFHT"].data.mean(axis=0)
+        psl = ds["PSL"].data
+        fsnt = ds["FSNT"].data.mean(axis=0)
+        flnt = ds["FLNT"].data.mean(axis=0)
+        prec = ds["PRECT"].data.mean(axis=0)
+        ice = ds["ICEFRAC"].data.mean(axis=0)
+
+        if self.validate:
+            self._validate(doy, ds)
+
+        self.days.append(int(doy))
+        self.global_mean_t.append(self._wmean(t2m))
+        self.toa_imbalance.append(self._wmean(fsnt - flnt))
+        self.min_psl.append(float(psl.min()))
+        self.total_precip.append(self._wmean(prec))
+        self.ice_fraction.append(self._wmean(ice))
+
+    def _validate(self, doy: int, ds: Dataset) -> None:
+        for name in ("TREFHT", "PSL", "PRECT", "TREFHTMX", "TREFHTMN"):
+            if not np.all(np.isfinite(ds[name].data)):
+                raise DiagnosticsError(f"day {doy}: non-finite {name}")
+        if np.any(ds["TREFHTMX"].data < ds["TREFHTMN"].data):
+            raise DiagnosticsError(f"day {doy}: TMAX < TMIN")
+        psl = ds["PSL"].data
+        if psl.min() < 850.0 or psl.max() > 1100.0:
+            raise DiagnosticsError(
+                f"day {doy}: PSL outside [850, 1100] hPa "
+                f"([{psl.min():.1f}, {psl.max():.1f}])"
+            )
+        t = ds["TREFHT"].data
+        if t.min() < 160.0 or t.max() > 340.0:
+            raise DiagnosticsError(
+                f"day {doy}: TREFHT outside [160, 340] K"
+            )
+        prec = ds["PRECT"].data
+        if prec.min() < 0.0:
+            raise DiagnosticsError(f"day {doy}: negative precipitation")
+
+    # -- summary -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Run-level aggregates of the daily indicators."""
+        if not self.days:
+            raise DiagnosticsError("no days recorded")
+        return {
+            "n_days": len(self.days),
+            "mean_global_t_k": float(np.mean(self.global_mean_t)),
+            "trend_global_t_k_per_day": float(
+                np.polyfit(self.days, self.global_mean_t, 1)[0]
+            ) if len(self.days) > 1 else 0.0,
+            "mean_toa_imbalance_wm2": float(np.mean(self.toa_imbalance)),
+            "deepest_low_hpa": float(np.min(self.min_psl)),
+            "mean_precip": float(np.mean(self.total_precip)),
+            "mean_ice_fraction": float(np.mean(self.ice_fraction)),
+        }
+
+    def to_json(self) -> bytes:
+        payload = {
+            "days": self.days,
+            "global_mean_t": self.global_mean_t,
+            "toa_imbalance": self.toa_imbalance,
+            "min_psl": self.min_psl,
+            "total_precip": self.total_precip,
+            "ice_fraction": self.ice_fraction,
+            "summary": self.summary(),
+        }
+        return json.dumps(payload, indent=1).encode("utf-8")

@@ -1,0 +1,85 @@
+"""Greenhouse-gas scenario forcing.
+
+CMCC-CM3 is driven by annual GHG concentrations (historical record or
+SSP projections).  This module provides idealised CO2 pathways and the
+induced global-mean warming through a logarithmic radiative forcing and
+an equilibrium-sensitivity scaling — enough structure for projections to
+warm realistically and for heat-wave statistics to trend.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+#: Pre-industrial reference concentration (ppm) and forcing constants.
+CO2_PREINDUSTRIAL = 280.0
+FORCING_PER_DOUBLING = 3.7      # W m^-2
+CLIMATE_SENSITIVITY = 3.0       # K per CO2 doubling (equilibrium, idealised)
+_HISTORICAL_BASE_YEAR = 1850
+_SCENARIO_SPLIT_YEAR = 2015
+
+
+class GHGScenario(enum.Enum):
+    """Supported concentration pathways."""
+
+    HISTORICAL = "historical"
+    SSP126 = "ssp126"
+    SSP245 = "ssp245"
+    SSP585 = "ssp585"
+
+    @classmethod
+    def coerce(cls, value) -> "GHGScenario":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown scenario {value!r}; expected one of "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+#: Per-scenario exponential growth rates applied after 2015 (ppm/year shape).
+_GROWTH = {
+    GHGScenario.SSP126: 0.0015,
+    GHGScenario.SSP245: 0.0045,
+    GHGScenario.SSP585: 0.0095,
+}
+
+
+def co2_ppm(year: int, scenario: GHGScenario | str = GHGScenario.SSP245) -> float:
+    """Annual-mean CO2 concentration for *year* under *scenario*.
+
+    Historical follows an idealised exponential from 285 ppm (1850) to
+    ~410 ppm (2015); scenarios diverge afterwards.  Years before the
+    split always use the historical curve, whatever scenario is asked.
+    """
+    scenario = GHGScenario.coerce(scenario)
+    year = int(year)
+    hist_rate = math.log(410.0 / 285.0) / (_SCENARIO_SPLIT_YEAR - _HISTORICAL_BASE_YEAR)
+    if year <= _SCENARIO_SPLIT_YEAR or scenario is GHGScenario.HISTORICAL:
+        y = min(year, _SCENARIO_SPLIT_YEAR) if scenario is not GHGScenario.HISTORICAL else year
+        y = max(y, _HISTORICAL_BASE_YEAR)
+        return 285.0 * math.exp(hist_rate * (y - _HISTORICAL_BASE_YEAR))
+    base = 410.0
+    rate = _GROWTH[scenario]
+    return base * math.exp(rate * (year - _SCENARIO_SPLIT_YEAR))
+
+
+def radiative_forcing(ppm: float) -> float:
+    """Logarithmic CO2 forcing relative to pre-industrial, W m^-2."""
+    if ppm <= 0:
+        raise ValueError("CO2 concentration must be positive")
+    return FORCING_PER_DOUBLING * math.log2(ppm / CO2_PREINDUSTRIAL)
+
+
+def warming_offset(year: int, scenario: GHGScenario | str = GHGScenario.SSP245) -> float:
+    """Global-mean surface warming (K) vs pre-industrial for *year*.
+
+    Transient response approximated as 60% of equilibrium.
+    """
+    forcing = radiative_forcing(co2_ppm(year, scenario))
+    equilibrium = CLIMATE_SENSITIVITY * forcing / FORCING_PER_DOUBLING
+    return 0.6 * equilibrium

@@ -1,0 +1,88 @@
+"""The ocean component (a NEMO stand-in): a slab ocean with memory.
+
+SST relaxes toward its seasonal climatology, integrates the heat flux
+received from the atmosphere through the coupler, and carries a slow
+ENSO-like basin oscillation.  The long thermal memory is what makes the
+coupled system more than two independent noise generators: atmospheric
+heat anomalies persist in the SST and feed back on later days.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.esm.forcing import GHGScenario, warming_offset
+from repro.esm.grid import Grid
+from repro.netcdf.cf import DAYS_PER_YEAR
+
+KELVIN = 273.15
+
+
+@dataclass
+class SlabOcean:
+    """Slab ocean with relaxation, coupling flux uptake and ENSO mode.
+
+    Parameters
+    ----------
+    relaxation_days:
+        e-folding time of the SST anomaly decay toward climatology.
+    heat_uptake_k_per_flux:
+        SST tendency per unit normalised atmosphere-ocean flux (K/day).
+    """
+
+    grid: Grid
+    scenario: GHGScenario = GHGScenario.SSP245
+    relaxation_days: float = 20.0
+    heat_uptake_k_per_flux: float = 0.08
+    enso_period_days: float = 4.2 * DAYS_PER_YEAR
+    enso_amplitude_k: float = 1.2
+
+    sst: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def sst_clim(self, year: int, doy: int) -> np.ndarray:
+        """Seasonal SST climatology plus scenario warming (K)."""
+        g = self.grid
+        lat_r = np.deg2rad(g.lat2d)
+        base = KELVIN + 28.0 * np.cos(lat_r) ** 2 - 1.0
+        seasonal = (
+            2.5 * np.sin(lat_r) * np.abs(np.sin(lat_r))
+            * np.cos(2.0 * np.pi * (doy - 226.0) / DAYS_PER_YEAR)
+        )
+        # Ocean lags the atmosphere by ~1 month (peak doy 226 vs 196).
+        warming = 0.7 * warming_offset(year, self.scenario)
+        return base + seasonal + warming
+
+    def enso_anomaly(self, year: int, doy: int) -> np.ndarray:
+        """Slow tropical-Pacific-like SST mode."""
+        g = self.grid
+        t_days = year * DAYS_PER_YEAR + doy
+        phase = 2.0 * np.pi * t_days / self.enso_period_days
+        pattern = (
+            np.exp(-((g.lat2d / 12.0) ** 2))
+            * np.cos(np.deg2rad(g.lon2d - 210.0) * 1.5)
+        )
+        return self.enso_amplitude_k * np.sin(phase) * pattern
+
+    def initialise(self, year: int, doy: int = 1) -> np.ndarray:
+        """Set SST to climatology + ENSO; returns the field."""
+        self.sst = self.sst_clim(year, doy) + self.enso_anomaly(year, doy)
+        return self.sst
+
+    def step(self, year: int, doy: int, flux: np.ndarray) -> np.ndarray:
+        """Advance one day given the normalised atmosphere→ocean *flux*.
+
+        ``flux`` is dimensionless (≈ (T_atm - SST)/K); positive warms.
+        """
+        if self.sst is None:
+            self.initialise(year, doy)
+        clim = self.sst_clim(year, doy) + self.enso_anomaly(year, doy)
+        anomaly = self.sst - clim
+        anomaly *= 1.0 - 1.0 / self.relaxation_days
+        anomaly += self.heat_uptake_k_per_flux * flux
+        self.sst = clim + anomaly
+        # SST is only defined over ocean; land cells carry the clim value
+        # so downstream consumers never see NaNs.
+        return self.sst

@@ -1,0 +1,70 @@
+"""Daily output writing: one RNC file per simulated day.
+
+File naming follows the case-study convention the streaming monitor
+pattern-matches on: ``cmcc_cm3_<year>_<doy>.rnc`` with a zero-padded
+3-digit day-of-year, so lexical order equals chronological order.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.esm.atmosphere import VARIABLE_ATTRS
+from repro.esm.grid import Grid
+from repro.netcdf import Dataset
+from repro.netcdf.cf import time_axis_for_days
+
+_FILENAME_RE = re.compile(r"^cmcc_cm3_(\d{4})_(\d{3})\.rnc$")
+
+
+def daily_filename(year: int, doy: int) -> str:
+    """Canonical file name for one day of output."""
+    if not 1 <= doy <= 365:
+        raise ValueError(f"day-of-year {doy} outside [1, 365]")
+    return f"cmcc_cm3_{year:04d}_{doy:03d}.rnc"
+
+
+def parse_daily_filename(name: str) -> Optional[Tuple[int, int]]:
+    """Inverse of :func:`daily_filename`; ``None`` for foreign names."""
+    match = _FILENAME_RE.match(name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2))
+
+
+def build_daily_dataset(
+    grid: Grid,
+    year: int,
+    doy: int,
+    fields: Dict[str, np.ndarray],
+    steps_per_day: int,
+    scenario: str,
+) -> Dataset:
+    """Assemble the per-day dataset: coordinates + all model variables."""
+    ds = Dataset(
+        {
+            "model": "CMCC-CM3-sim",
+            "scenario": scenario,
+            "year": year,
+            "doy": doy,
+            "frequency": f"{24 // steps_per_day}hr",
+        }
+    )
+    ds.create_dimension("time", steps_per_day)
+    ds.create_dimension("lat", grid.n_lat)
+    ds.create_dimension("lon", grid.n_lon)
+    ds.create_variable(
+        "time",
+        time_axis_for_days(year, doy, 1, steps_per_day),
+        ("time",),
+        {"units": "days since 2015-01-01", "calendar": "noleap"},
+    )
+    ds.create_variable("lat", grid.lat, ("lat",), {"units": "degrees_north"})
+    ds.create_variable("lon", grid.lon, ("lon",), {"units": "degrees_east"})
+    for name, data in fields.items():
+        attrs = VARIABLE_ATTRS.get(name, {})
+        ds.create_variable(name, data, ("time", "lat", "lon"), attrs)
+    return ds

@@ -1,0 +1,60 @@
+"""The eFlows4HPC software stack: HPC Workflows as a Service.
+
+Reproduces §4 of the paper — the deployment/orchestration layer that
+wraps the PyCOMPSs application:
+
+* :mod:`yamlsubset` — a dependency-free YAML-subset parser (TOSCA
+  topologies are "yaml TOSCA file[s]" in the paper);
+* :mod:`tosca` — the topology model: node templates, properties,
+  requirements, artifacts;
+* :mod:`alien4cloud` — the developer-facing interface: register
+  topologies, set application parameters, trigger deployments;
+* :mod:`yorc` — the TOSCA orchestrator: walks a topology and provisions
+  software (container images, Python environments) and data (through
+  the Data Logistics Service) onto a simulated cluster;
+* :mod:`container` — the Container Image Creation service (Ejarque &
+  Badia 2023): builds target-platform images, content-addressed and
+  cached;
+* :mod:`dls` — the Data Logistics Service: named data-movement
+  pipelines executed at deployment or execution time;
+* :mod:`registry` — the workflow registry HPCWaaS publishes into;
+* :mod:`api` — the Execution API: final users trigger a deployed
+  workflow with a REST-like call and poll its status, no knowledge of
+  the cluster required.
+"""
+
+from repro.hpcwaas.yamlsubset import parse_yaml, dump_yaml, YAMLError
+from repro.hpcwaas.tosca import (
+    NodeTemplate,
+    Topology,
+    topology_from_yaml,
+    TOSCAError,
+)
+from repro.hpcwaas.container import (
+    ContainerImage,
+    ContainerImageCreationService,
+    ContainerRuntime,
+)
+from repro.hpcwaas.dls import DataLogisticsService, DataMovement, DLSError
+from repro.hpcwaas.yorc import YorcOrchestrator, Deployment, DeploymentState
+from repro.hpcwaas.registry import WorkflowRegistry, WorkflowRecord
+from repro.hpcwaas.alien4cloud import Alien4Cloud
+from repro.hpcwaas.api import HPCWaaSAPI, Execution, ExecutionState
+from repro.hpcwaas.federation import (
+    Federation,
+    FederatedDataLogistics,
+    FederationError,
+    TransferRecord,
+)
+
+__all__ = [
+    "parse_yaml", "dump_yaml", "YAMLError",
+    "NodeTemplate", "Topology", "topology_from_yaml", "TOSCAError",
+    "ContainerImage", "ContainerImageCreationService", "ContainerRuntime",
+    "DataLogisticsService", "DataMovement", "DLSError",
+    "YorcOrchestrator", "Deployment", "DeploymentState",
+    "WorkflowRegistry", "WorkflowRecord",
+    "Alien4Cloud",
+    "HPCWaaSAPI", "Execution", "ExecutionState",
+    "Federation", "FederatedDataLogistics", "FederationError", "TransferRecord",
+]

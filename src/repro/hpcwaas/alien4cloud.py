@@ -1,0 +1,106 @@
+"""The Alien4Cloud-like developer interface.
+
+The paper's development path: a workflow developer describes the
+application topology (extended TOSCA), sets application parameters and
+the HPC endpoint, deploys through Yorc, and publishes the deployed
+workflow to the Execution API.  This facade exposes exactly those
+verbs, minus the GUI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.hpcwaas.registry import Entrypoint, WorkflowRecord, WorkflowRegistry
+from repro.hpcwaas.tosca import Topology, topology_from_yaml
+from repro.hpcwaas.yorc import Deployment, YorcOrchestrator
+
+
+class Alien4Cloud:
+    """Topology catalogue + deployment driver + publication."""
+
+    def __init__(
+        self,
+        orchestrator: Optional[YorcOrchestrator] = None,
+        registry: Optional[WorkflowRegistry] = None,
+    ) -> None:
+        self.orchestrator = orchestrator or YorcOrchestrator()
+        self.registry = registry or WorkflowRegistry()
+        self._topologies: Dict[str, Topology] = {}
+        self._parameters: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    # -- development interface ------------------------------------------------
+
+    def upload_topology(self, topology: Topology | str) -> Topology:
+        """Register a topology (object or TOSCA YAML text)."""
+        if isinstance(topology, str):
+            topology = topology_from_yaml(topology)
+        with self._lock:
+            if topology.name in self._topologies:
+                raise ValueError(f"topology {topology.name!r} already uploaded")
+            self._topologies[topology.name] = topology
+        return topology
+
+    def get_topology(self, name: str) -> Topology:
+        with self._lock:
+            try:
+                return self._topologies[name]
+            except KeyError:
+                raise KeyError(f"unknown topology {name!r}") from None
+
+    def set_parameters(self, topology_name: str, **params: Any) -> None:
+        """Set application parameters (merged into workflow defaults)."""
+        self.get_topology(topology_name)  # existence check
+        with self._lock:
+            self._parameters.setdefault(topology_name, {}).update(params)
+
+    def parameters(self, topology_name: str) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._parameters.get(topology_name, {}))
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy(self, topology_name: str, cluster: Cluster) -> Deployment:
+        """Provision the topology's environment on *cluster* via Yorc."""
+        topology = self.get_topology(topology_name)
+        return self.orchestrator.deploy(topology, cluster)
+
+    def undeploy(self, deployment: Deployment) -> None:
+        self.orchestrator.undeploy(deployment)
+
+    # -- publication -----------------------------------------------------------
+
+    def publish_workflow(
+        self,
+        workflow_id: str,
+        deployment: Deployment,
+        entrypoint: Entrypoint,
+        description: str = "",
+    ) -> WorkflowRecord:
+        """Expose a deployed workflow through the Execution API.
+
+        Defaults merge the topology inputs, the deployment's PyCOMPSs
+        application arguments, and any parameters set on the topology —
+        later sources win.
+        """
+        defaults: Dict[str, Any] = {}
+        for key, value in deployment.topology.inputs.items():
+            defaults[key] = value.get("default") if isinstance(value, dict) else value
+        app = deployment.provisioned.get(
+            deployment.application.name if deployment.application else "", {}
+        )
+        defaults.update(app.get("defaults", {}))
+        defaults.update(self.parameters(deployment.topology.name))
+
+        record = WorkflowRecord(
+            workflow_id=workflow_id,
+            deployment=deployment,
+            entrypoint=entrypoint,
+            description=description,
+            default_params=defaults,
+        )
+        self.registry.register(record)
+        return record

@@ -1,0 +1,170 @@
+"""The HPCWaaS Execution API.
+
+"Once the workflow is deployed, it is published to the HPCWaaS
+Execution API which allows final users to run the deployed workflow as
+a simple REST invocation."  The API here is in-process but keeps the
+REST shape: ``invoke`` returns an execution handle immediately; the
+workflow runs as a batch job on the deployment's cluster (the PyCOMPSs
+master job); status/result/logs are polled by execution id.
+
+Deferred Data Logistics pipelines (``when: execution``) run right
+before the application launches.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.lsf import Job, JobError, JobState
+from repro.hpcwaas.registry import WorkflowRegistry
+from repro.hpcwaas.yorc import DeploymentState, YorcOrchestrator
+
+
+class ExecutionState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            ExecutionState.COMPLETED, ExecutionState.FAILED, ExecutionState.CANCELLED
+        )
+
+
+_JOB_TO_EXEC = {
+    JobState.PEND: ExecutionState.PENDING,
+    JobState.RUN: ExecutionState.RUNNING,
+    JobState.DONE: ExecutionState.COMPLETED,
+    JobState.EXIT: ExecutionState.FAILED,
+    JobState.KILLED: ExecutionState.CANCELLED,
+}
+
+
+@dataclass
+class Execution:
+    """One workflow run triggered through the API."""
+
+    execution_id: int
+    workflow_id: str
+    params: Dict[str, Any]
+    job: Job
+    submitted_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def state(self) -> ExecutionState:
+        return _JOB_TO_EXEC[self.job.state]
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block for the result; re-raises workflow failure as JobError."""
+        return self.job.wait(timeout)
+
+    @property
+    def result(self) -> Any:
+        if self.state is not ExecutionState.COMPLETED:
+            raise RuntimeError(
+                f"execution {self.execution_id} is {self.state.value}, no result"
+            )
+        return self.job.result
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self.job.exception
+
+
+class HPCWaaSAPI:
+    """REST-shaped entry point for final users."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        registry: WorkflowRegistry,
+        orchestrator: Optional[YorcOrchestrator] = None,
+    ) -> None:
+        self.registry = registry
+        self.orchestrator = orchestrator
+        self._executions: Dict[int, Execution] = {}
+        self._lock = threading.Lock()
+
+    # -- user-facing verbs ------------------------------------------------------
+
+    def list_workflows(self) -> List[str]:
+        """GET /workflows"""
+        return self.registry.list()
+
+    def invoke(self, workflow_id: str, **params: Any) -> Execution:
+        """POST /workflows/<id>/executions — returns immediately.
+
+        The workflow executes as a batch job on the cluster that hosts
+        its deployment; user params override the published defaults.
+        """
+        record = self.registry.get(workflow_id)
+        deployment = record.deployment
+        if deployment.state is not DeploymentState.DEPLOYED:
+            raise RuntimeError(
+                f"workflow {workflow_id!r} deployment is "
+                f"{deployment.state.value}; deploy it first"
+            )
+        merged = dict(record.default_params)
+        merged.update(params)
+
+        def run_workflow():
+            if self.orchestrator is not None:
+                for pipeline in deployment.execution_pipelines:
+                    self.orchestrator.dls.execute(
+                        pipeline, deployment.cluster.filesystem
+                    )
+            return record.entrypoint(deployment.cluster, merged)
+
+        # The TOSCA ComputeAccess template declares the target queue.
+        queue = None
+        for record_ in deployment.provisioned.values():
+            if record_.get("kind") == "compute":
+                candidate = record_.get("queue")
+                if candidate in deployment.cluster.scheduler.queues:
+                    queue = candidate
+                break
+        job = deployment.cluster.scheduler.bsub(
+            run_workflow, name=f"hpcwaas-{workflow_id}", queue=queue,
+        )
+        execution = Execution(next(self._ids), workflow_id, merged, job)
+        with self._lock:
+            self._executions[execution.execution_id] = execution
+        return execution
+
+    def status(self, execution_id: int) -> ExecutionState:
+        """GET /executions/<id>/status"""
+        return self._get(execution_id).state
+
+    def result(self, execution_id: int) -> Any:
+        """GET /executions/<id>/result"""
+        return self._get(execution_id).result
+
+    def cancel(self, execution_id: int) -> bool:
+        """DELETE /executions/<id> — only pending executions can cancel."""
+        execution = self._get(execution_id)
+        scheduler = self.registry.get(execution.workflow_id).deployment.cluster.scheduler
+        return scheduler.bkill(execution.job.job_id)
+
+    def executions(self, workflow_id: Optional[str] = None) -> List[Execution]:
+        """GET /executions[?workflow=...]"""
+        with self._lock:
+            out = sorted(self._executions.values(), key=lambda e: e.execution_id)
+        if workflow_id is None:
+            return out
+        return [e for e in out if e.workflow_id == workflow_id]
+
+    def _get(self, execution_id: int) -> Execution:
+        with self._lock:
+            try:
+                return self._executions[execution_id]
+            except KeyError:
+                raise KeyError(f"unknown execution {execution_id}") from None

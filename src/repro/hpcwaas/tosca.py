@@ -1,0 +1,129 @@
+"""TOSCA topology model (the subset Alien4Cloud/Yorc exchange).
+
+A topology declares node templates — software components, jobs, data
+sets — with properties, typed requirements on other templates, and
+artifacts (container image specs, data pipelines).  The orchestrator
+walks templates in dependency order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import networkx as nx
+
+from repro.hpcwaas.yamlsubset import parse_yaml
+
+
+class TOSCAError(ValueError):
+    """Invalid topology description."""
+
+
+@dataclass
+class NodeTemplate:
+    """One component of the application architecture."""
+
+    name: str
+    type: str
+    properties: Dict[str, Any] = field(default_factory=dict)
+    requirements: List[str] = field(default_factory=list)   # names of others
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Topology:
+    """A TOSCA application topology."""
+
+    name: str
+    node_templates: Dict[str, NodeTemplate] = field(default_factory=dict)
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, template: NodeTemplate) -> None:
+        if template.name in self.node_templates:
+            raise TOSCAError(f"duplicate node template {template.name!r}")
+        self.node_templates[template.name] = template
+
+    def validate(self) -> None:
+        """Check requirement targets exist and the dependency graph is a DAG."""
+        for template in self.node_templates.values():
+            for req in template.requirements:
+                if req not in self.node_templates:
+                    raise TOSCAError(
+                        f"template {template.name!r} requires unknown node {req!r}"
+                    )
+        g = self.dependency_graph()
+        if not nx.is_directed_acyclic_graph(g):
+            cycle = nx.find_cycle(g)
+            raise TOSCAError(f"requirement cycle: {cycle}")
+
+    def dependency_graph(self) -> nx.DiGraph:
+        """Edges point requirement → dependent (provision order)."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self.node_templates)
+        for template in self.node_templates.values():
+            for req in template.requirements:
+                if req in self.node_templates:
+                    g.add_edge(req, template.name)
+        return g
+
+    def deployment_order(self) -> List[NodeTemplate]:
+        """Templates sorted so requirements deploy before dependents."""
+        self.validate()
+        order = nx.lexicographical_topological_sort(self.dependency_graph())
+        return [self.node_templates[name] for name in order]
+
+
+def topology_from_yaml(text: str) -> Topology:
+    """Build a :class:`Topology` from a TOSCA-style YAML document.
+
+    Expected shape (a pragmatic subset of TOSCA Simple Profile)::
+
+        tosca_definitions_version: tosca_simple_yaml_1_3
+        metadata:
+          template_name: climate-extremes
+        topology_template:
+          inputs:
+            years: {...}          # or scalar defaults
+          node_templates:
+            <name>:
+              type: <type string>
+              properties: {...}
+              requirements:
+                - host: <other template>
+              artifacts: {...}
+    """
+    doc = parse_yaml(text)
+    if not isinstance(doc, dict):
+        raise TOSCAError("topology document must be a mapping")
+    meta = doc.get("metadata") or {}
+    tt = doc.get("topology_template")
+    if not isinstance(tt, dict):
+        raise TOSCAError("missing topology_template section")
+    name = str(meta.get("template_name") or doc.get("template_name") or "unnamed")
+    topology = Topology(name=name, inputs=dict(tt.get("inputs") or {}))
+
+    templates = tt.get("node_templates")
+    if not isinstance(templates, dict) or not templates:
+        raise TOSCAError("topology_template.node_templates must be a non-empty mapping")
+    for tpl_name, body in templates.items():
+        if not isinstance(body, dict):
+            raise TOSCAError(f"node template {tpl_name!r} must be a mapping")
+        type_name = body.get("type")
+        if not type_name:
+            raise TOSCAError(f"node template {tpl_name!r} lacks a type")
+        requirements: List[str] = []
+        for req in body.get("requirements") or []:
+            if isinstance(req, dict):
+                requirements.extend(str(v) for v in req.values())
+            else:
+                requirements.append(str(req))
+        topology.add(NodeTemplate(
+            name=str(tpl_name),
+            type=str(type_name),
+            properties=dict(body.get("properties") or {}),
+            requirements=requirements,
+            artifacts=dict(body.get("artifacts") or {}),
+        ))
+    topology.validate()
+    return topology

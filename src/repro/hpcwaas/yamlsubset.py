@@ -1,0 +1,345 @@
+"""A dependency-free parser for the YAML subset TOSCA files use.
+
+Supported: nested block mappings and sequences (indentation-based),
+scalars (int, float, bool, null, quoted and plain strings), flow lists
+(``[a, b, c]``), comments and blank lines.  Unsupported (raises
+:class:`YAMLError`): anchors/aliases, multi-line strings, flow mappings,
+tabs for indentation, documents streams.
+
+The grammar is deliberately strict — a topology file that silently
+parses differently from real YAML would be worse than a loud error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+
+class YAMLError(ValueError):
+    """Malformed input for the supported subset."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_KEY_RE = re.compile(r"^(?P<key>[^:#]+?)\s*:(?:\s+(?P<value>.*))?$")
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a trailing comment that is outside quotes."""
+    in_single = in_double = False
+    for i, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            if i == 0 or text[i - 1] in " \t":
+                return text[:i].rstrip()
+    return text.rstrip()
+
+
+def _parse_scalar(text: str, line_no: int) -> Any:
+    text = text.strip()
+    if text in ("", "~", "null", "Null", "NULL"):
+        return None
+    if text in ("true", "True", "TRUE"):
+        return True
+    if text in ("false", "False", "FALSE"):
+        return False
+    if text[0] in "'\"":
+        if len(text) < 2 or text[-1] != text[0]:
+            raise YAMLError(f"unterminated quoted string {text!r}", line_no)
+        return text[1:-1]
+    if text.startswith("[") :
+        if not text.endswith("]"):
+            raise YAMLError(f"unterminated flow list {text!r}", line_no)
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_scalar(part, line_no) for part in _split_flow(inner, line_no)]
+    if text.startswith("{"):
+        raise YAMLError("flow mappings are not supported", line_no)
+    if text.startswith("&") or text.startswith("*"):
+        raise YAMLError("anchors/aliases are not supported", line_no)
+    if text in ("|", ">") or text.startswith("|") or text.startswith(">"):
+        raise YAMLError("block scalars are not supported", line_no)
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_flow(inner: str, line_no: int) -> List[str]:
+    """Split a flow-list body on top-level commas, respecting quotes."""
+    parts, buf = [], []
+    in_single = in_double = False
+    depth = 0
+    for ch in inner:
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "[" and not (in_single or in_double):
+            depth += 1
+        elif ch == "]" and not (in_single or in_double):
+            depth -= 1
+        if ch == "," and depth == 0 and not (in_single or in_double):
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if in_single or in_double:
+        raise YAMLError("unterminated quote in flow list", line_no)
+    parts.append("".join(buf))
+    return [p.strip() for p in parts if p.strip()]
+
+
+class _Line:
+    __slots__ = ("indent", "content", "no")
+
+    def __init__(self, indent: int, content: str, no: int) -> None:
+        self.indent = indent
+        self.content = content
+        self.no = no
+
+
+def _lex(text: str) -> List[_Line]:
+    lines = []
+    for no, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YAMLError("tabs are not allowed in indentation", no)
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(indent, stripped.strip(), no))
+    return lines
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]) -> None:
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> Optional[_Line]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent: int) -> Any:
+        """Parse the block starting at the current position with *indent*."""
+        line = self.peek()
+        if line is None:
+            return None
+        if line.content.startswith("- "):
+            return self._parse_sequence(indent)
+        if line.content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_sequence(self, indent: int) -> List[Any]:
+        items: List[Any] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                break
+            if line.indent > indent:
+                raise YAMLError("unexpected indentation in sequence", line.no)
+            if not (line.content == "-" or line.content.startswith("- ")):
+                break
+            rest = line.content[1:].strip()
+            self.pos += 1
+            if not rest:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    items.append(self.parse_block(nxt.indent))
+                else:
+                    items.append(None)
+                continue
+            if self._looks_like_mapping_entry(rest):
+                # "- key: value" — a mapping item; re-inject as virtual lines.
+                item = self._parse_inline_mapping_item(rest, indent + 2, line.no)
+                items.append(item)
+            else:
+                items.append(_parse_scalar(rest, line.no))
+        return items
+
+    @staticmethod
+    def _looks_like_mapping_entry(rest: str) -> bool:
+        """Distinguish ``- key: value`` from a scalar sequence item."""
+        if rest[0] in "[":
+            return False
+        if rest[0] in "'\"":
+            # A quoted token is a key only when a colon follows the quote.
+            end = rest.find(rest[0], 1)
+            return end != -1 and rest[end + 1:].lstrip().startswith(":")
+        return _KEY_RE.match(rest) is not None
+
+    def _parse_inline_mapping_item(self, first: str, indent: int, no: int) -> dict:
+        """Handle ``- key: value`` plus following deeper-indented keys."""
+        match = _KEY_RE.match(first)
+        if match is None:
+            raise YAMLError(f"bad mapping entry {first!r}", no)
+        result = {}
+        key = _parse_scalar(match.group("key").strip(), no)
+        value = match.group("value")
+        if value is None or value == "":
+            nxt = self.peek()
+            if nxt is not None and nxt.indent >= indent:
+                result[key] = self.parse_block(nxt.indent)
+            else:
+                result[key] = None
+        else:
+            result[key] = _parse_scalar(value, no)
+        # Continuation keys at the same (virtual) indent.
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent or line.content.startswith("- "):
+                break
+            sub = self._parse_mapping(line.indent)
+            for k, v in sub.items():
+                if k in result:
+                    raise YAMLError(f"duplicate key {k!r}", line.no)
+                result[k] = v
+        return result
+
+    def _parse_mapping(self, indent: int) -> dict:
+        result: dict = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                break
+            if line.indent > indent:
+                raise YAMLError("unexpected indentation", line.no)
+            if line.content.startswith("- "):
+                break
+            match = _KEY_RE.match(line.content)
+            if match is None:
+                raise YAMLError(f"expected 'key: value', got {line.content!r}", line.no)
+            key = _parse_scalar(match.group("key").strip(), line.no)
+            if key in result:
+                raise YAMLError(f"duplicate key {key!r}", line.no)
+            value = match.group("value")
+            self.pos += 1
+            if value is not None and value != "":
+                result[key] = _parse_scalar(value, line.no)
+            else:
+                nxt = self.peek()
+                if nxt is not None and nxt.indent > indent:
+                    result[key] = self.parse_block(nxt.indent)
+                else:
+                    result[key] = None
+        return result
+
+
+def _needs_quoting(text: str) -> bool:
+    """A plain scalar that would not parse back to the same string."""
+    if text == "" or text != text.strip():
+        return True
+    if text[0] in "'\"[{&*|>-" or "#" in text or ":" in text:
+        return True
+    if text in ("~", "null", "Null", "NULL", "true", "True", "TRUE",
+                "false", "False", "FALSE"):
+        return True
+    try:
+        float(text)
+        return True  # would parse as a number
+    except ValueError:
+        return False
+
+
+def _dump_scalar(value: Any, in_flow: bool = False) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    # Inside flow lists, commas/brackets/quotes would derail the scanner.
+    flow_specials = in_flow and any(c in ',[]"' for c in text)
+    if _needs_quoting(text) or flow_specials:
+        escaped = text.replace("'", "")  # the subset has no escape syntax
+        return f"'{escaped}'"
+    return text
+
+
+def dump_yaml(value: Any, indent: int = 0) -> str:
+    """Serialise *value* into the supported YAML subset.
+
+    Inverse of :func:`parse_yaml` for parseable structures (mappings,
+    lists, scalars).  Strings containing single quotes lose them — the
+    subset has no escaping; structure and every other value round-trips,
+    which the property tests assert.
+    """
+    pad = " " * indent
+    if isinstance(value, dict):
+        if not value:
+            raise YAMLError("cannot dump an empty mapping in the subset")
+        lines = []
+        for key, item in value.items():
+            if isinstance(key, str) and (":" in key or "#" in key):
+                raise YAMLError(
+                    f"mapping key {key!r} contains ':' or '#', which the "
+                    "subset's key grammar cannot represent"
+                )
+            key_text = _dump_scalar(key)
+            if isinstance(item, dict) and item:
+                lines.append(f"{pad}{key_text}:")
+                lines.append(dump_yaml(item, indent + 2))
+            elif isinstance(item, list) and item and any(
+                isinstance(x, (dict, list)) for x in item
+            ):
+                lines.append(f"{pad}{key_text}:")
+                lines.append(dump_yaml(item, indent + 2))
+            elif isinstance(item, list):
+                inline = ", ".join(_dump_scalar(x, in_flow=True) for x in item)
+                lines.append(f"{pad}{key_text}: [{inline}]")
+            elif isinstance(item, dict):
+                raise YAMLError("cannot dump an empty mapping in the subset")
+            else:
+                lines.append(f"{pad}{key_text}: {_dump_scalar(item)}")
+        return "\n".join(lines)
+    if isinstance(value, list):
+        lines = []
+        for item in value:
+            if isinstance(item, dict) and item:
+                body = dump_yaml(item, indent + 2).lstrip()
+                first, _, rest = body.partition("\n")
+                lines.append(f"{pad}- {first}")
+                if rest:
+                    lines.append(rest)
+            elif isinstance(item, (dict, list)):
+                raise YAMLError(
+                    "nested lists / empty mappings inside sequences are "
+                    "outside the subset"
+                )
+            else:
+                lines.append(f"{pad}- {_dump_scalar(item)}")
+        return "\n".join(lines)
+    return f"{pad}{_dump_scalar(value)}"
+
+
+def parse_yaml(text: str) -> Any:
+    """Parse *text*; returns dict/list/scalar, ``None`` for empty input."""
+    lines = _lex(text)
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    root_indent = lines[0].indent
+    result = parser.parse_block(root_indent)
+    leftover = parser.peek()
+    if leftover is not None:
+        raise YAMLError(
+            f"trailing content {leftover.content!r}", leftover.no
+        )
+    return result

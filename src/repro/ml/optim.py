@@ -1,0 +1,76 @@
+"""Optimisers: SGD with momentum and Adam.
+
+Both update parameter arrays in place, keyed by position in the list the
+network exposes, so optimiser state survives across steps without the
+layers knowing anything about optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Optimizer:
+    """Interface: ``step(params, grads)`` updates params in place."""
+
+    def step(self, params: Sequence[np.ndarray], grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = []
+
+    def step(self, params, grads) -> None:
+        if not self._velocity:
+            self._velocity = [np.zeros_like(p) for p in params]
+        if len(params) != len(self._velocity):
+            raise ValueError("parameter set changed between steps")
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self, lr: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: List[np.ndarray] = []
+        self._v: List[np.ndarray] = []
+        self._t = 0
+
+    def step(self, params, grads) -> None:
+        if not self._m:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        if len(params) != len(self._m):
+            raise ValueError("parameter set changed between steps")
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g**2
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

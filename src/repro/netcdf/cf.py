@@ -1,0 +1,121 @@
+"""CF-convention helpers: the 'noleap' calendar and time encoding.
+
+Climate models overwhelmingly run on a 365-day ('noleap') calendar; the
+CMCC-CM3 output the paper's workflow consumes is daily, grouped per year.
+This module provides the minimal CF-time machinery the workflow needs:
+encoding dates as "days since <epoch>" and decoding back, plus helpers to
+build per-day time axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+#: Days per month in the noleap calendar.
+NOLEAP_MONTH_LENGTHS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+DAYS_PER_YEAR = 365
+
+
+@dataclass(frozen=True)
+class NoLeapCalendar:
+    """Date arithmetic on the fixed 365-day calendar.
+
+    Dates are ``(year, month, day)`` tuples with 1-based month/day.
+    """
+
+    @staticmethod
+    def is_valid(year: int, month: int, day: int) -> bool:
+        return (
+            1 <= month <= 12
+            and 1 <= day <= NOLEAP_MONTH_LENGTHS[month - 1]
+        )
+
+    @staticmethod
+    def day_of_year(month: int, day: int) -> int:
+        """1-based ordinal day within the year."""
+        if not NoLeapCalendar.is_valid(1, month, day):
+            raise ValueError(f"invalid noleap date month={month} day={day}")
+        return sum(NOLEAP_MONTH_LENGTHS[: month - 1]) + day
+
+    @staticmethod
+    def from_day_of_year(doy: int) -> Tuple[int, int]:
+        """Inverse of :meth:`day_of_year`: returns ``(month, day)``."""
+        if not 1 <= doy <= DAYS_PER_YEAR:
+            raise ValueError(f"day-of-year {doy} outside [1, {DAYS_PER_YEAR}]")
+        remaining = doy
+        for month, length in enumerate(NOLEAP_MONTH_LENGTHS, start=1):
+            if remaining <= length:
+                return month, remaining
+            remaining -= length
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def to_ordinal(year: int, month: int, day: int) -> int:
+        """Days elapsed since year 0, month 1, day 1 (0-based)."""
+        if not NoLeapCalendar.is_valid(year, month, day):
+            raise ValueError(f"invalid noleap date {year}-{month}-{day}")
+        return year * DAYS_PER_YEAR + NoLeapCalendar.day_of_year(month, day) - 1
+
+    @staticmethod
+    def from_ordinal(ordinal: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`to_ordinal`."""
+        year, doy0 = divmod(int(ordinal), DAYS_PER_YEAR)
+        month, day = NoLeapCalendar.from_day_of_year(doy0 + 1)
+        return year, month, day
+
+
+def _parse_units(units: str) -> Tuple[float, int]:
+    """Parse ``"<unit> since YYYY-MM-DD"``; returns (days-per-unit, epoch ordinal)."""
+    parts = units.split()
+    if len(parts) < 3 or parts[1] != "since":
+        raise ValueError(f"unsupported time units {units!r}")
+    unit = parts[0].rstrip("s")
+    scale = {"day": 1.0, "hour": 1.0 / 24.0, "minute": 1.0 / 1440.0}.get(unit)
+    if scale is None:
+        raise ValueError(f"unsupported time unit {parts[0]!r}")
+    date = parts[2].split("T")[0]
+    year_s, month_s, day_s = date.split("-")
+    epoch = NoLeapCalendar.to_ordinal(int(year_s), int(month_s), int(day_s))
+    return scale, epoch
+
+
+def encode_time(dates: List[Tuple[int, int, int]], units: str) -> np.ndarray:
+    """Encode ``(year, month, day)`` tuples as a CF time coordinate."""
+    scale, epoch = _parse_units(units)
+    ordinals = np.array(
+        [NoLeapCalendar.to_ordinal(*d) for d in dates], dtype=np.float64
+    )
+    return (ordinals - epoch) / scale
+
+
+def decode_time(values: np.ndarray, units: str) -> List[Tuple[int, int, int]]:
+    """Decode a CF time coordinate into ``(year, month, day)`` tuples.
+
+    Fractional days (sub-daily timesteps) are floored to the containing day.
+    """
+    scale, epoch = _parse_units(units)
+    ordinals = np.floor(np.asarray(values, dtype=np.float64) * scale + epoch)
+    return [NoLeapCalendar.from_ordinal(int(o)) for o in ordinals]
+
+
+def time_axis_for_days(
+    year: int,
+    start_doy: int,
+    n_days: int,
+    steps_per_day: int,
+    units: str = "days since 2015-01-01",
+) -> np.ndarray:
+    """Build a sub-daily CF time axis covering *n_days* starting at *start_doy*.
+
+    Steps are placed at the start of each uniform sub-daily interval (e.g.
+    four 6-hourly steps per day at 0, 0.25, 0.5, 0.75 days).
+    """
+    if steps_per_day < 1:
+        raise ValueError("steps_per_day must be >= 1")
+    scale, epoch = _parse_units(units)
+    base = NoLeapCalendar.to_ordinal(year, 1, 1) + (start_doy - 1) - epoch
+    offsets = np.arange(n_days * steps_per_day, dtype=np.float64) / steps_per_day
+    return (base + offsets) / scale

@@ -1,0 +1,688 @@
+"""The datacube abstraction and its operators.
+
+A :class:`Cube` is a named multi-dimensional measure partitioned into
+fragments along one dimension.  Operators never mutate a cube: each
+produces a new cube whose fragments are computed fragment-parallel on
+the server (and live in the I/O servers until :meth:`Cube.delete`).
+
+The method surface mirrors PyOphidia's ``cube.Cube``: ``importnc2``,
+``apply`` (with ``oph_*`` primitive queries), ``reduce``, ``reduce2``
+(grouped), ``intercube``, ``subset``, ``merge``, ``exportnc2``,
+``runlength`` (the consecutive-run operator behind heat-wave durations)
+and metadata management.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netcdf import Dataset
+from repro.ophidia.primitives import evaluate_primitive
+from repro.ophidia.server import OphidiaServer
+
+
+@dataclass(frozen=True)
+class DimensionInfo:
+    """A named cube dimension with optional coordinate values."""
+
+    name: str
+    size: int
+    coords: Optional[tuple] = None
+
+    def with_size(self, size: int, coords=None) -> "DimensionInfo":
+        return DimensionInfo(self.name, size, coords)
+
+
+@dataclass(frozen=True)
+class _FragmentRef:
+    """One fragment: storage id plus its index range on the fragment dim."""
+
+    fragment_id: int
+    start: int
+    stop: int
+
+
+_REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
+    "max": np.max,
+    "min": np.min,
+    "sum": np.sum,
+    "mean": np.mean,
+    "std": np.std,
+    "var": np.var,
+}
+
+_INTERCUBE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sub": np.subtract,
+    "add": np.add,
+    "mul": np.multiply,
+    "div": np.divide,
+    "greater": lambda a, b: (a > b).astype(np.int8),
+    "greater_equal": lambda a, b: (a >= b).astype(np.int8),
+    "less": lambda a, b: (a < b).astype(np.int8),
+    "less_equal": lambda a, b: (a <= b).astype(np.int8),
+}
+
+
+class Cube:
+    """A fragmented datacube resident in the Ophidia I/O servers.
+
+    Construct via :meth:`importnc2` or :meth:`from_array`; the paper's
+    idiom ``cube.Cube.client = client`` is supported through the
+    class-level :attr:`client` attribute, used when no explicit client
+    is passed.
+    """
+
+    #: PyOphidia-style ambient client (see the paper's Listing 1).
+    client: Optional["Client"] = None  # noqa: F821 - forward ref
+
+    _cube_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        server: OphidiaServer,
+        dims: Sequence[DimensionInfo],
+        fragment_dim: str,
+        fragments: Sequence[_FragmentRef],
+        measure: str,
+        description: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if fragment_dim not in [d.name for d in dims]:
+            raise ValueError(f"fragment dim {fragment_dim!r} not among cube dims")
+        self._server = server
+        self.dims: Tuple[DimensionInfo, ...] = tuple(dims)
+        self.fragment_dim = fragment_dim
+        self._fragments: Tuple[_FragmentRef, ...] = tuple(fragments)
+        self.measure = measure
+        self.description = description
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self.cube_id = next(Cube._cube_ids)
+        self._deleted = False
+        server.log_operator(
+            "create", cube_id=self.cube_id, measure=measure,
+            description=description,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def dim_names(self) -> Tuple[str, ...]:
+        return tuple(d.name for d in self.dims)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(d.size for d in self.dims)
+
+    @property
+    def nfrag(self) -> int:
+        return len(self._fragments)
+
+    def _axis(self, dim: str) -> int:
+        try:
+            return self.dim_names.index(dim)
+        except ValueError:
+            raise ValueError(
+                f"cube has no dimension {dim!r}; dims are {self.dim_names}"
+            ) from None
+
+    def _check_alive(self) -> None:
+        if self._deleted:
+            raise RuntimeError(f"cube {self.cube_id} has been deleted")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _resolve_server(cls, client) -> OphidiaServer:
+        client = client or cls.client
+        if client is None:
+            raise RuntimeError(
+                "no Ophidia client: pass client= or set cube.Cube.client"
+            )
+        return client.server
+
+    @classmethod
+    def importnc2(
+        cls,
+        src_paths: Sequence[str] | str,
+        measure: str,
+        client=None,
+        concat_dim: str = "time",
+        fragment_dim: str = "lat",
+        nfrag: Optional[int] = None,
+        description: str = "",
+    ) -> "Cube":
+        """Import a variable from one or more RNC files into a new cube.
+
+        Multiple files concatenate along *concat_dim* (the daily-file
+        pattern of the case study); the cube fragments along
+        *fragment_dim* into *nfrag* pieces (default: one per I/O server).
+        """
+        server = cls._resolve_server(client)
+        if isinstance(src_paths, str):
+            src_paths = [src_paths]
+        if not src_paths:
+            raise ValueError("importnc2 needs at least one source path")
+
+        variables = server.map_fragments(
+            lambda path: server.read_nc_variable(path, measure), list(src_paths)
+        )
+        first = variables[0]
+        if len(variables) == 1:
+            data = first.data
+        else:
+            axis = first.dims.index(concat_dim)
+            data = np.concatenate([v.data for v in variables], axis=axis)
+
+        dims = []
+        for i, name in enumerate(first.dims):
+            dims.append(DimensionInfo(name, data.shape[i]))
+        server.log_operator(
+            "oph_importnc2", measure=measure, files=len(src_paths),
+            description=description,
+        )
+        return cls.from_array(
+            data, dims=[d.name for d in dims], client=client,
+            fragment_dim=fragment_dim, nfrag=nfrag, measure=measure,
+            description=description,
+        )
+
+    @classmethod
+    def from_array(
+        cls,
+        data: np.ndarray,
+        dims: Sequence[str],
+        client=None,
+        fragment_dim: Optional[str] = None,
+        nfrag: Optional[int] = None,
+        measure: str = "measure",
+        description: str = "",
+    ) -> "Cube":
+        """Create a cube from an in-memory array (a 'randcube' analogue)."""
+        server = cls._resolve_server(client)
+        data = np.asarray(data)
+        if data.ndim != len(dims):
+            raise ValueError(f"{data.ndim}-d array with {len(dims)} dims")
+        if fragment_dim is None:
+            fragment_dim = dims[-1]
+        if fragment_dim not in dims:
+            raise ValueError(f"fragment dim {fragment_dim!r} not in {dims}")
+        if nfrag is None:
+            nfrag = len(server.pool.servers)
+        axis = list(dims).index(fragment_dim)
+        size = data.shape[axis]
+        nfrag = max(1, min(nfrag, size)) if size else 1
+
+        bounds = np.linspace(0, size, nfrag + 1).astype(int)
+        refs = []
+        for i in range(nfrag):
+            start, stop = int(bounds[i]), int(bounds[i + 1])
+            indexer = [slice(None)] * data.ndim
+            indexer[axis] = slice(start, stop)
+            fid = server.pool.store(np.ascontiguousarray(data[tuple(indexer)]))
+            refs.append(_FragmentRef(fid, start, stop))
+
+        dim_infos = [DimensionInfo(name, data.shape[i]) for i, name in enumerate(dims)]
+        return cls(server, dim_infos, fragment_dim, refs, measure, description)
+
+    # ------------------------------------------------------------------
+    # Core operators
+    # ------------------------------------------------------------------
+
+    def _derive(
+        self,
+        new_dims: Sequence[DimensionInfo],
+        fragment_arrays: Sequence[np.ndarray],
+        frag_bounds: Sequence[Tuple[int, int]],
+        description: str,
+        measure: Optional[str] = None,
+        fragment_dim: Optional[str] = None,
+    ) -> "Cube":
+        refs = [
+            _FragmentRef(self._server.pool.store(arr), start, stop)
+            for arr, (start, stop) in zip(fragment_arrays, frag_bounds)
+        ]
+        return Cube(
+            self._server, new_dims, fragment_dim or self.fragment_dim, refs,
+            measure or self.measure, description, dict(self.metadata),
+        )
+
+    def apply(self, query: str, description: str = "") -> "Cube":
+        """Elementwise transform through an ``oph_*`` primitive expression."""
+        self._check_alive()
+        self._server.log_operator("oph_apply", cube_id=self.cube_id, query=query)
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            return evaluate_primitive(query, data)
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(self.dims, arrays, bounds, description)
+
+    def transform(
+        self, fn: Callable[[np.ndarray], np.ndarray], description: str = ""
+    ) -> "Cube":
+        """Elementwise transform through an arbitrary shape-preserving callable."""
+        self._check_alive()
+        self._server.log_operator(
+            "oph_transform", cube_id=self.cube_id, fn=getattr(fn, "__name__", "fn")
+        )
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            out = np.asarray(fn(data))
+            if out.shape != data.shape:
+                raise ValueError("transform callable must preserve fragment shape")
+            return out
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(self.dims, arrays, bounds, description)
+
+    def reduce(
+        self, operation: str, dim: str = "time", description: str = ""
+    ) -> "Cube":
+        """Collapse *dim* with *operation* (max/min/sum/mean/std/var)."""
+        self._check_alive()
+        reducer = _REDUCERS.get(operation)
+        if reducer is None:
+            raise ValueError(
+                f"unknown reduce operation {operation!r}; expected {sorted(_REDUCERS)}"
+            )
+        axis = self._axis(dim)
+        self._server.log_operator(
+            "oph_reduce", cube_id=self.cube_id, operation=operation, dim=dim
+        )
+        new_dims = [d for d in self.dims if d.name != dim]
+
+        if dim == self.fragment_dim:
+            # Reducing along the fragmentation axis requires a gather.
+            full = self.to_array()
+            out = reducer(full, axis=axis) if full.size else np.zeros(
+                tuple(d.size for d in new_dims)
+            )
+            new_fragment_dim = new_dims[-1].name if new_dims else None
+            if new_fragment_dim is None:
+                raise ValueError("cannot reduce the last remaining dimension")
+            cube = Cube.from_array(
+                out, [d.name for d in new_dims],
+                client=_ServerClient(self._server),
+                fragment_dim=new_fragment_dim, measure=self.measure,
+                description=description,
+            )
+            cube.metadata.update(self.metadata)
+            return cube
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            return np.asarray(reducer(data, axis=axis))
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(new_dims, arrays, bounds, description)
+
+    def percentile(
+        self, q: float, dim: str = "time", description: str = ""
+    ) -> "Cube":
+        """Collapse *dim* to its *q*-th percentile (ETCCDI thresholds)."""
+        self._check_alive()
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        axis = self._axis(dim)
+        self._server.log_operator(
+            "oph_percentile", cube_id=self.cube_id, q=q, dim=dim
+        )
+        new_dims = [d for d in self.dims if d.name != dim]
+        if dim == self.fragment_dim:
+            raise ValueError("percentile along the fragment dim is unsupported")
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            return np.percentile(data, q, axis=axis)
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(new_dims, arrays, bounds, description)
+
+    def reduce2(
+        self,
+        operation: str,
+        dim: str,
+        group_size: int,
+        description: str = "",
+    ) -> "Cube":
+        """Grouped reduction: collapse *dim* in blocks of *group_size*.
+
+        The Ophidia idiom for "daily → yearly" style aggregation: a cube
+        with ``time=730`` and ``group_size=365`` yields ``time=2``.
+        """
+        self._check_alive()
+        reducer = _REDUCERS.get(operation)
+        if reducer is None:
+            raise ValueError(f"unknown reduce operation {operation!r}")
+        axis = self._axis(dim)
+        size = self.dims[axis].size
+        if group_size < 1 or size % group_size != 0:
+            raise ValueError(
+                f"group_size {group_size} must evenly divide dim {dim!r} (size {size})"
+            )
+        if dim == self.fragment_dim:
+            raise ValueError("grouped reduction along the fragment dim is unsupported")
+        n_groups = size // group_size
+        self._server.log_operator(
+            "oph_reduce2", cube_id=self.cube_id, operation=operation,
+            dim=dim, group_size=group_size,
+        )
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            shape = list(data.shape)
+            shape[axis:axis + 1] = [n_groups, group_size]
+            return np.asarray(reducer(data.reshape(shape), axis=axis + 1))
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        new_dims = [
+            d if d.name != dim else d.with_size(n_groups) for d in self.dims
+        ]
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(new_dims, arrays, bounds, description)
+
+    def intercube(
+        self, other: "Cube", operation: str = "sub", description: str = ""
+    ) -> "Cube":
+        """Elementwise binary operation with another cube of identical dims."""
+        self._check_alive()
+        other._check_alive()
+        op = _INTERCUBE_OPS.get(operation)
+        if op is None:
+            raise ValueError(
+                f"unknown intercube operation {operation!r}; "
+                f"expected {sorted(_INTERCUBE_OPS)}"
+            )
+        if self.dim_names != other.dim_names or self.shape != other.shape:
+            raise ValueError(
+                f"intercube dim mismatch: {self.dim_names}{self.shape} vs "
+                f"{other.dim_names}{other.shape}"
+            )
+        self._server.log_operator(
+            "oph_intercube", cube_id=self.cube_id, other=other.cube_id,
+            operation=operation,
+        )
+        aligned = (
+            other.fragment_dim == self.fragment_dim
+            and [(r.start, r.stop) for r in other._fragments]
+            == [(r.start, r.stop) for r in self._fragments]
+        )
+        axis = self._axis(self.fragment_dim)
+        other_full = None if aligned else other.to_array()
+
+        def work(pair) -> np.ndarray:
+            ref, other_ref = pair
+            a = self._server.pool.load(ref.fragment_id)
+            if other_ref is not None:
+                b = other._server.pool.load(other_ref.fragment_id)
+            else:
+                indexer = [slice(None)] * len(self.shape)
+                indexer[axis] = slice(ref.start, ref.stop)
+                b = other_full[tuple(indexer)]
+            return np.asarray(op(a, b))
+
+        pairs = [
+            (ref, other._fragments[i] if aligned else None)
+            for i, ref in enumerate(self._fragments)
+        ]
+        arrays = self._server.map_fragments(work, pairs)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(self.dims, arrays, bounds, description)
+
+    def subset(self, dim: str, start: int, stop: int, description: str = "") -> "Cube":
+        """Slice ``[start, stop)`` along *dim* (index space)."""
+        self._check_alive()
+        axis = self._axis(dim)
+        size = self.dims[axis].size
+        start, stop = max(0, start), min(size, stop)
+        if start >= stop:
+            raise ValueError(f"empty subset [{start}, {stop}) on dim {dim!r}")
+        self._server.log_operator(
+            "oph_subset", cube_id=self.cube_id, dim=dim, start=start, stop=stop
+        )
+
+        if dim == self.fragment_dim:
+            full = self.to_array()
+            indexer = [slice(None)] * full.ndim
+            indexer[axis] = slice(start, stop)
+            out = full[tuple(indexer)]
+            cube = Cube.from_array(
+                out, list(self.dim_names), client=_ServerClient(self._server),
+                fragment_dim=self.fragment_dim, nfrag=self.nfrag,
+                measure=self.measure, description=description,
+            )
+            cube.metadata.update(self.metadata)
+            return cube
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            indexer = [slice(None)] * data.ndim
+            indexer[axis] = slice(start, stop)
+            return np.ascontiguousarray(data[tuple(indexer)])
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        new_dims = [
+            d if d.name != dim else d.with_size(stop - start) for d in self.dims
+        ]
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(new_dims, arrays, bounds, description)
+
+    def runlength(self, dim: str = "time", description: str = "") -> "Cube":
+        """Lengths of completed runs of positive values along *dim*.
+
+        For every position, the output is the length of the consecutive
+        run of ``> 0`` input values that *ends* at that position (the
+        next element breaks the run or the axis ends), else 0.  This is
+        the duration cube of the paper's heat/cold-wave pipelines: a
+        follow-up ``oph_predicate('x','>=6',...)`` + ``reduce`` extracts
+        the indices.
+        """
+        self._check_alive()
+        if dim == self.fragment_dim:
+            raise ValueError("runlength along the fragment dim is unsupported")
+        axis = self._axis(dim)
+        self._server.log_operator("oph_runlength", cube_id=self.cube_id, dim=dim)
+
+        def work(ref: _FragmentRef) -> np.ndarray:
+            data = self._server.pool.load(ref.fragment_id)
+            return _run_lengths(data > 0, axis)
+
+        arrays = self._server.map_fragments(work, self._fragments)
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(self.dims, arrays, bounds, description)
+
+    def concat(self, other: "Cube", dim: str = "time",
+               description: str = "") -> "Cube":
+        """Append *other* along *dim* (Ophidia's OPH_CONCATNC pattern).
+
+        The multi-year idiom: each year imports as its own cube and
+        concatenates into the projection-length cube.  All non-*dim*
+        dimensions must match.  Fragment-aligned inputs concatenate
+        fragment-parallel; otherwise the right operand is gathered.
+        """
+        self._check_alive()
+        other._check_alive()
+        if dim == self.fragment_dim:
+            raise ValueError("concat along the fragment dim is unsupported")
+        if self.dim_names != other.dim_names:
+            raise ValueError(
+                f"dim mismatch: {self.dim_names} vs {other.dim_names}"
+            )
+        axis = self._axis(dim)
+        for i, (a, b) in enumerate(zip(self.shape, other.shape)):
+            if i != axis and a != b:
+                raise ValueError(
+                    f"size mismatch on {self.dim_names[i]!r}: {a} vs {b}"
+                )
+        self._server.log_operator(
+            "oph_concatnc", cube_id=self.cube_id, other=other.cube_id, dim=dim
+        )
+        aligned = (
+            other.fragment_dim == self.fragment_dim
+            and [(r.start, r.stop) for r in other._fragments]
+            == [(r.start, r.stop) for r in self._fragments]
+        )
+        frag_axis = self._axis(self.fragment_dim)
+        other_full = None if aligned else other.to_array()
+
+        def work(pair) -> np.ndarray:
+            ref, other_ref = pair
+            a = self._server.pool.load(ref.fragment_id)
+            if other_ref is not None:
+                b = other._server.pool.load(other_ref.fragment_id)
+            else:
+                indexer = [slice(None)] * len(self.shape)
+                indexer[frag_axis] = slice(ref.start, ref.stop)
+                b = other_full[tuple(indexer)]
+            return np.concatenate([a, b], axis=axis)
+
+        pairs = [
+            (ref, other._fragments[i] if aligned else None)
+            for i, ref in enumerate(self._fragments)
+        ]
+        arrays = self._server.map_fragments(work, pairs)
+        new_size = self.dims[axis].size + other.dims[axis].size
+        new_dims = [
+            d if d.name != dim else d.with_size(new_size) for d in self.dims
+        ]
+        bounds = [(r.start, r.stop) for r in self._fragments]
+        return self._derive(new_dims, arrays, bounds, description)
+
+    def merge(self, description: str = "") -> "Cube":
+        """Collapse to a single fragment (Ophidia's OPH_MERGE)."""
+        self._check_alive()
+        self._server.log_operator("oph_merge", cube_id=self.cube_id)
+        full = self.to_array()
+        cube = Cube.from_array(
+            full, list(self.dim_names), client=_ServerClient(self._server),
+            fragment_dim=self.fragment_dim, nfrag=1, measure=self.measure,
+            description=description or self.description,
+        )
+        cube.metadata.update(self.metadata)
+        return cube
+
+    # ------------------------------------------------------------------
+    # Materialisation / export / lifecycle
+    # ------------------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Gather all fragments into one in-memory array (client sync)."""
+        self._check_alive()
+        axis = self._axis(self.fragment_dim)
+        parts = self._server.map_fragments(
+            lambda ref: self._server.pool.load(ref.fragment_id), self._fragments
+        )
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=axis)
+
+    def exportnc2(self, output_path: str, output_name: str) -> str:
+        """Write the cube as an RNC dataset; returns the file's path."""
+        self._check_alive()
+        data = self.to_array()
+        ds = Dataset(
+            {
+                "measure": self.measure,
+                "description": self.description,
+                **{f"meta_{k}": v for k, v in self.metadata.items()
+                   if isinstance(v, (str, int, float, bool))},
+            }
+        )
+        ds.create_variable(self.measure, data, self.dim_names)
+        for d in self.dims:
+            if d.coords is not None:
+                ds.create_variable(d.name, np.asarray(d.coords), (d.name,))
+        path = f"{output_path.rstrip('/')}/{output_name}.rnc"
+        self._server.write_nc_dataset(path, ds)
+        self._server.log_operator(
+            "oph_exportnc2", cube_id=self.cube_id, path=path
+        )
+        return path
+
+    def delete(self) -> None:
+        """Free the cube's fragments from the I/O servers (idempotent)."""
+        if self._deleted:
+            return
+        self._server.pool.delete_many([r.fragment_id for r in self._fragments])
+        self._server.log_operator("oph_delete", cube_id=self.cube_id)
+        self._deleted = True
+
+    def explore(self, limit: int = 8) -> str:
+        """Human-readable cube preview (Ophidia's OPH_EXPLORECUBE).
+
+        Shows dimensions, fragmentation, value statistics and the first
+        *limit* values in storage order.
+        """
+        self._check_alive()
+        data = self.to_array()
+        flat = data.ravel()
+        head = ", ".join(f"{v:.4g}" for v in flat[:limit])
+        if flat.size > limit:
+            head += ", ..."
+        lines = [
+            f"cube {self.cube_id}: measure={self.measure!r} "
+            f"description={self.description!r}",
+            "dims: " + ", ".join(f"{d.name}[{d.size}]" for d in self.dims),
+            f"fragments: {self.nfrag} along {self.fragment_dim!r}",
+        ]
+        if flat.size:
+            lines.append(
+                f"stats: min={flat.min():.4g} max={flat.max():.4g} "
+                f"mean={flat.mean():.4g}"
+            )
+        lines.append(f"values: [{head}]")
+        return "\n".join(lines)
+
+    # -- metadata --------------------------------------------------------
+
+    def addmeta(self, key: str, value: Any) -> None:
+        self.metadata[key] = value
+
+    def getmeta(self, key: str) -> Any:
+        return self.metadata[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(f"{d.name}={d.size}" for d in self.dims)
+        return (
+            f"<Cube {self.cube_id} {self.measure}[{dims}] nfrag={self.nfrag} "
+            f"{self.description!r}>"
+        )
+
+
+class _ServerClient:
+    """Minimal client shim so cube-internal operators can build cubes."""
+
+    def __init__(self, server: OphidiaServer) -> None:
+        self.server = server
+
+
+def _run_lengths(mask: np.ndarray, axis: int) -> np.ndarray:
+    """Completed-run lengths of True values along *axis* (int32).
+
+    Output[t] = k if a maximal run of k consecutive True values ends at
+    position t, else 0.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    moved = np.moveaxis(mask, axis, 0)
+    steps = moved.shape[0]
+    running = np.zeros(moved.shape[1:], dtype=np.int32)
+    out = np.zeros(moved.shape, dtype=np.int32)
+    for t in range(steps):
+        running = (running + 1) * moved[t]
+        ends = moved[t] & (~moved[t + 1] if t + 1 < steps else True)
+        out[t] = np.where(ends, running, 0)
+    return np.moveaxis(out, 0, axis)

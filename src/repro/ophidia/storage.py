@@ -1,0 +1,172 @@
+"""Fragment storage: in-memory I/O servers with access accounting.
+
+Ophidia partitions each datacube into fragments spread over a set of
+I/O server processes that keep data in memory between operators.  Here
+an :class:`IOServer` is an instrumented in-memory fragment table and a
+:class:`StoragePool` distributes fragments round-robin, mirroring
+Ophidia's hierarchical data organisation (host partition → I/O server →
+fragment).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class StorageStats:
+    """Cumulative fragment-level access counters."""
+
+    fragment_reads: int = 0
+    fragment_writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    fragment_deletes: int = 0
+
+    def snapshot(self) -> "StorageStats":
+        return StorageStats(
+            self.fragment_reads, self.fragment_writes,
+            self.bytes_read, self.bytes_written, self.fragment_deletes,
+        )
+
+    def delta(self, earlier: "StorageStats") -> "StorageStats":
+        return StorageStats(
+            self.fragment_reads - earlier.fragment_reads,
+            self.fragment_writes - earlier.fragment_writes,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+            self.fragment_deletes - earlier.fragment_deletes,
+        )
+
+
+class IOServer:
+    """One in-memory fragment store.
+
+    Fragment payloads are NumPy arrays keyed by a pool-unique id.  All
+    accesses are counted; reads return the stored array itself (callers
+    treat fragments as immutable — operators always write new fragments).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._fragments: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self.stats = StorageStats()
+
+    def put(self, fragment_id: int, data: np.ndarray) -> None:
+        data = np.asarray(data)
+        with self._lock:
+            self._fragments[fragment_id] = data
+            self.stats.fragment_writes += 1
+            self.stats.bytes_written += data.nbytes
+
+    def get(self, fragment_id: int) -> np.ndarray:
+        with self._lock:
+            try:
+                data = self._fragments[fragment_id]
+            except KeyError:
+                raise KeyError(
+                    f"fragment {fragment_id} not on I/O server {self.name!r}"
+                ) from None
+            self.stats.fragment_reads += 1
+            self.stats.bytes_read += data.nbytes
+            return data
+
+    def delete(self, fragment_id: int) -> None:
+        with self._lock:
+            if fragment_id in self._fragments:
+                del self._fragments[fragment_id]
+                self.stats.fragment_deletes += 1
+
+    def __contains__(self, fragment_id: int) -> bool:
+        with self._lock:
+            return fragment_id in self._fragments
+
+    @property
+    def n_fragments(self) -> int:
+        with self._lock:
+            return len(self._fragments)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(a.nbytes for a in self._fragments.values())
+
+
+class StoragePool:
+    """A set of I/O servers with round-robin fragment placement."""
+
+    def __init__(self, n_servers: int = 2) -> None:
+        if n_servers < 1:
+            raise ValueError("need at least one I/O server")
+        self.servers: List[IOServer] = [
+            IOServer(f"io{idx}") for idx in range(n_servers)
+        ]
+        self._fragment_ids = itertools.count(1)
+        self._placement: Dict[int, IOServer] = {}
+        self._rr = itertools.cycle(range(n_servers))
+        self._lock = threading.Lock()
+
+    def add_servers(self, n: int) -> None:
+        """Dynamically scale the pool up by *n* I/O servers.
+
+        Existing fragments stay where they are; new fragments round-robin
+        over the enlarged set — Ophidia's "scaled up, also dynamically"
+        behaviour (§4.2.2).
+        """
+        if n < 1:
+            raise ValueError("must add at least one server")
+        with self._lock:
+            start = len(self.servers)
+            self.servers.extend(IOServer(f"io{start + i}") for i in range(n))
+            self._rr = itertools.cycle(range(len(self.servers)))
+
+    def store(self, data: np.ndarray) -> int:
+        """Place a new fragment; returns its pool-unique id."""
+        with self._lock:
+            fragment_id = next(self._fragment_ids)
+            server = self.servers[next(self._rr)]
+            self._placement[fragment_id] = server
+        server.put(fragment_id, data)
+        return fragment_id
+
+    def load(self, fragment_id: int) -> np.ndarray:
+        with self._lock:
+            server = self._placement.get(fragment_id)
+        if server is None:
+            raise KeyError(f"unknown fragment id {fragment_id}")
+        return server.get(fragment_id)
+
+    def delete(self, fragment_id: int) -> None:
+        with self._lock:
+            server = self._placement.pop(fragment_id, None)
+        if server is not None:
+            server.delete(fragment_id)
+
+    def delete_many(self, fragment_ids: Sequence[int]) -> None:
+        for fid in fragment_ids:
+            self.delete(fid)
+
+    def total_stats(self) -> StorageStats:
+        """Aggregate counters across all servers."""
+        agg = StorageStats()
+        for s in self.servers:
+            agg.fragment_reads += s.stats.fragment_reads
+            agg.fragment_writes += s.stats.fragment_writes
+            agg.bytes_read += s.stats.bytes_read
+            agg.bytes_written += s.stats.bytes_written
+            agg.fragment_deletes += s.stats.fragment_deletes
+        return agg
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(s.resident_bytes for s in self.servers)
+
+    @property
+    def n_fragments(self) -> int:
+        return sum(s.n_fragments for s in self.servers)

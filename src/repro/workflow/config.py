@@ -1,0 +1,75 @@
+"""Case-study configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class WorkflowParams:
+    """Parameters of the extreme-events workflow.
+
+    Defaults are test-scale; examples and benchmarks scale them up.
+    The paper's production run uses 768x1152 cells, 365-day years and
+    multi-decade projections.
+    """
+
+    years: List[int] = field(default_factory=lambda: [2030])
+    n_days: int = 60                 # days simulated per year (365 = full)
+    n_lat: int = 24
+    n_lon: int = 36
+    scenario: str = "ssp245"
+    seed: int = 42
+
+    n_workers: int = 4               # COMPSs workers
+    scheduler: str = "fifo"
+    ophidia_io_servers: int = 2
+    ophidia_cores: int = 2
+    nfrag: int = 4
+
+    threshold_k: float = 5.0
+    min_length_days: int = 6
+
+    with_ml: bool = True
+    tc_model_path: Optional[str] = None   # host path; trained if absent
+    tc_patch: int = 16
+    tc_target_grid: Tuple[int, int] = (32, 64)
+
+    reuse_baseline: bool = True      # C2 ablation knob
+    #: When True, analytics are submitted only after the simulation task
+    #: completes — the no-streaming-overlap baseline of experiment C1.
+    sequential: bool = False
+    #: Sleep per simulated day, emulating the real model's production
+    #: cadence (the real CMCC-CM3 takes minutes-to-hours per day).
+    pace_seconds: float = 0.0
+    #: ESM restart-file cadence in days (0 = no restarts).  A re-run of
+    #: an interrupted simulation resumes from the newest restart file.
+    esm_restart_every: int = 0
+    output_dir: str = "esm_output"
+    results_dir: str = "results"
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.years:
+            raise ValueError("need at least one simulation year")
+        if not 1 <= self.n_days <= 365:
+            raise ValueError("n_days must be in [1, 365]")
+        if self.min_length_days > self.n_days:
+            raise ValueError("min_length_days cannot exceed n_days")
+        if self.tc_target_grid[0] % self.tc_patch or self.tc_target_grid[1] % self.tc_patch:
+            raise ValueError("tc_target_grid must be divisible by tc_patch")
+
+    @classmethod
+    def from_dict(cls, params: Dict[str, Any]) -> "WorkflowParams":
+        """Build from a loose dict (HPCWaaS invocation params)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(params) - known
+        if unknown:
+            raise ValueError(f"unknown workflow parameters: {sorted(unknown)}")
+        kwargs = dict(params)
+        if "years" in kwargs:
+            kwargs["years"] = [int(y) for y in kwargs["years"]]
+        if "tc_target_grid" in kwargs:
+            kwargs["tc_target_grid"] = tuple(kwargs["tc_target_grid"])
+        return cls(**kwargs)

@@ -1,0 +1,95 @@
+"""The case study's TOSCA topology and HPCWaaS wiring (Figure 2).
+
+:data:`CASE_STUDY_TOSCA` is the application-architecture description a
+workflow developer uploads to Alien4Cloud; :func:`build_case_study_services`
+assembles the full service stack (Yorc + container service + DLS +
+registry + Execution API) with the climate workflow's data pipelines
+registered, ready to deploy onto a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hpcwaas import (
+    Alien4Cloud,
+    DataMovement,
+    HPCWaaSAPI,
+    YorcOrchestrator,
+)
+
+#: The extended-TOSCA description of the extreme-events application.
+CASE_STUDY_TOSCA = """
+tosca_definitions_version: tosca_simple_yaml_1_3
+metadata:
+  template_name: climate-extreme-events
+topology_template:
+  inputs:
+    years:
+      default: [2030]
+    n_days:
+      default: 30
+  node_templates:
+    zeus:
+      type: eflows.nodes.ComputeAccess
+      properties:
+        queue: p_medium
+    climate_image:
+      type: eflows.nodes.ContainerRuntime
+      properties:
+        packages: [pycompss, pyophidia, tensorflow, keras, numpy, scipy]
+        target_platform: x86_64
+      artifacts:
+        container:
+          name: climate-extremes-runtime
+          base: 'python:3.11-slim'
+      requirements:
+        - host: zeus
+    compss_env:
+      type: eflows.nodes.PythonEnvironment
+      properties:
+        packages: [pycompss, repro]
+        python: '3.11'
+      requirements:
+        - host: zeus
+    tc_model_data:
+      type: eflows.nodes.DataPipeline
+      properties:
+        pipeline: stage_tc_model
+        when: deployment
+      requirements:
+        - host: zeus
+    extremes_app:
+      type: eflows.nodes.PyCOMPSsApplication
+      properties:
+        entrypoint: repro.workflow.run_extreme_events_workflow
+        arguments:
+          n_workers: 4
+      requirements:
+        - dependency: climate_image
+        - dependency: compss_env
+        - dependency: tc_model_data
+"""
+
+
+def build_case_study_services(
+    tc_model_bytes: bytes = b"",
+) -> Tuple[Alien4Cloud, HPCWaaSAPI]:
+    """Assemble the eFlows4HPC stack with the case-study pipelines.
+
+    ``tc_model_bytes`` is the serialised pre-trained CNN the Data
+    Logistics Service stages onto the cluster at deployment time (an
+    empty placeholder marks "train on first use").
+    """
+    yorc = YorcOrchestrator()
+    yorc.dls.register_pipeline(
+        "stage_tc_model",
+        [DataMovement(
+            destination="models/tc_localizer_staged.pkl",
+            producer=lambda: tc_model_bytes or b"",
+        )],
+    )
+    a4c = Alien4Cloud(orchestrator=yorc)
+    a4c.upload_topology(CASE_STUDY_TOSCA)
+    api = HPCWaaSAPI(a4c.registry, orchestrator=yorc)
+    return a4c, api

@@ -1,0 +1,110 @@
+"""Tests for exposure metrics and the synthetic population field."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import synthetic_population_density, wave_exposure
+from repro.analytics.heatwaves import WaveIndices
+from repro.esm import Grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(24, 36)
+
+
+@pytest.fixture(scope="module")
+def population(grid):
+    return synthetic_population_density(grid)
+
+
+class TestPopulation:
+    def test_total_matches(self, grid, population):
+        total = (population * grid.cell_area_km2).sum()
+        assert total == pytest.approx(8.0e9, rel=1e-9)
+
+    def test_nobody_in_the_ocean(self, grid, population):
+        assert np.all(population[grid.ocean_mask] == 0.0)
+
+    def test_nobody_at_the_poles(self, grid, population):
+        polar = np.abs(grid.lat2d) > 80
+        assert population[polar].sum() == 0.0
+
+    def test_density_nonnegative(self, population):
+        assert population.min() >= 0.0
+
+    def test_deterministic(self, grid):
+        a = synthetic_population_density(grid, seed=3)
+        b = synthetic_population_density(grid, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestWaveExposure:
+    def _indices(self, grid, cells, duration=10, n_days=100):
+        number = np.zeros(grid.shape, np.int32)
+        freq = np.zeros(grid.shape)
+        for i, j in cells:
+            number[i, j] = 1
+            freq[i, j] = duration / n_days
+        return WaveIndices(number * duration, number, freq)
+
+    def test_no_waves_no_exposure(self, grid, population):
+        idx = self._indices(grid, [])
+        out = wave_exposure(idx, grid, population, n_days=100)
+        assert out["affected_area_km2"] == 0.0
+        assert out["person_wave_days"] == 0.0
+
+    def test_single_cell_exposure(self, grid, population):
+        land = np.argwhere(grid.land_mask)
+        i, j = land[len(land) // 2]
+        idx = self._indices(grid, [(i, j)], duration=10, n_days=100)
+        out = wave_exposure(idx, grid, population, n_days=100)
+        cell_area = grid.cell_area_km2[i, j]
+        assert out["affected_area_km2"] == pytest.approx(cell_area)
+        assert out["area_wave_days_km2d"] == pytest.approx(cell_area * 10)
+        expected_people = population[i, j] * cell_area
+        assert out["affected_population"] == pytest.approx(expected_people)
+        assert out["person_wave_days"] == pytest.approx(expected_people * 10)
+
+    def test_area_fraction_bounds(self, grid):
+        number = np.ones(grid.shape, np.int32)
+        idx = WaveIndices(number * 6, number, np.full(grid.shape, 0.1))
+        out = wave_exposure(idx, grid, n_days=100)
+        assert out["affected_area_fraction"] == pytest.approx(1.0)
+
+    def test_without_population_field(self, grid):
+        idx = self._indices(grid, [(5, 5)])
+        out = wave_exposure(idx, grid, n_days=100)
+        assert "affected_population" not in out
+        assert out["affected_area_km2"] > 0
+
+    def test_shape_validation(self, grid, population):
+        bad = WaveIndices(np.zeros((2, 2), np.int32), np.zeros((2, 2), np.int32),
+                          np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            wave_exposure(bad, grid)
+        idx = self._indices(grid, [])
+        with pytest.raises(ValueError):
+            wave_exposure(idx, grid, population_density=np.zeros((2, 2)))
+
+    def test_end_to_end_with_real_indices(self, grid, population):
+        """Exposure of the actual simulated heat waves is nonzero and
+        bounded by the planet."""
+        from repro.analytics import compute_heatwave_indices
+        from repro.esm import CMCCCM3, ModelConfig
+
+        model = CMCCCM3(ModelConfig(n_lat=24, n_lon=36, seed=11))
+        n_days = 230
+        baseline = np.stack([
+            model.atmosphere.baseline_tmax(
+                d, sst_clim=model.ocean.sst_clim(1995, d))
+            for d in range(1, n_days + 1)
+        ])
+        tmax = np.stack([
+            ds["TREFHTMX"].data[0]
+            for _, ds in model.iter_year(2030, n_days=n_days)
+        ]).astype(np.float64)
+        idx = compute_heatwave_indices(tmax, baseline)
+        out = wave_exposure(idx, grid, population, n_days=n_days)
+        assert 0 < out["affected_area_fraction"] < 0.5
+        assert 0 <= out["affected_population"] <= 8.0e9

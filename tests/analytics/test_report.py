@@ -1,0 +1,105 @@
+"""Tests for the Markdown run-report generator."""
+
+import json
+
+import pytest
+
+from repro.analytics import generate_report
+
+
+def sample_summary(n_years=2, with_ml=True, with_federation=False):
+    years = {}
+    for i in range(n_years):
+        year = 2030 + i
+        data = {
+            "heat_waves": {"cells_with_waves": 0.02 + 0.01 * i,
+                           "max_duration_days": 10.0 + i,
+                           "max_number": 1.0, "mean_frequency": 0.001},
+            "cold_waves": {"cells_with_waves": 0.01,
+                           "max_duration_days": 7.0,
+                           "max_number": 1.0, "mean_frequency": 0.0005},
+            "tc_deterministic": {
+                "n_tracks": 3 + i,
+                "skill": {"pod": 0.75, "far": 0.25, "n_truth": 4,
+                          "mean_center_error_km": 250.0},
+            },
+        }
+        if with_ml:
+            data["tc_ml"] = {"n_detections": 40 + i}
+        years[year] = data
+    summary = {
+        "params": {"years": list(years), "n_days": 60},
+        "years": years,
+        "task_graph": {"n_tasks": 33, "n_edges": 41},
+        "schedule": {"makespan_s": 1.25, "esm_analytics_overlap_s": 0.4},
+    }
+    if with_federation:
+        summary["federation"] = {
+            "sites": ["cloud-sim", "hpc-sim"], "transfers": 2,
+            "bytes_moved": 3_200_000,
+        }
+    return summary
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self):
+        report = generate_report(sample_summary())
+        assert report.startswith("# Climate extremes run report")
+        assert "## Heat and cold waves" in report
+        assert "## Tropical cyclones" in report
+        assert "## Execution" in report
+        assert "| 2030 |" in report and "| 2031 |" in report
+        assert "Trend:" in report
+
+    def test_single_year_no_trend(self):
+        report = generate_report(sample_summary(n_years=1))
+        assert "Trend:" not in report
+
+    def test_without_ml_column_dash(self):
+        report = generate_report(sample_summary(with_ml=False))
+        assert "CNN detections" in report
+        assert "| - |" in report
+
+    def test_federation_section(self):
+        report = generate_report(sample_summary(with_federation=True))
+        assert "Federated over" in report
+        assert "3.2 MB" in report
+
+    def test_custom_title(self):
+        report = generate_report(sample_summary(), title="Zeus run 42")
+        assert report.startswith("# Zeus run 42")
+
+    def test_empty_summary_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report({"years": {}})
+
+    def test_json_roundtripped_keys(self):
+        """JSON turns int year keys into strings; the report must cope."""
+        summary = json.loads(json.dumps(sample_summary()))
+        report = generate_report(summary)
+        assert "| 2030 |" in report
+
+    def test_real_workflow_summary(self, tmp_path):
+        from repro.cluster import laptop_like
+        from repro.workflow import WorkflowParams, run_extreme_events_workflow
+
+        with laptop_like(scratch_root=str(tmp_path)) as cluster:
+            summary = run_extreme_events_workflow(cluster, WorkflowParams(
+                years=[2030], n_days=8, n_lat=16, n_lon=24,
+                min_length_days=4, with_ml=False, seed=5,
+            ))
+        report = generate_report(summary)
+        assert "## Heat and cold waves" in report
+        assert "Makespan" in report
+
+
+class TestReportCLI:
+    def test_report_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(sample_summary()))
+        assert main(["report", str(path), "--title", "CLI report"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# CLI report")
+        assert "## Tropical cyclones" in out

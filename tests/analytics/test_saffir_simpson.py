@@ -1,0 +1,66 @@
+"""Saffir-Simpson classification and cube exploration tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytics import saffir_simpson_category
+from repro.analytics.tc_tracking import Detection, Track
+
+
+class TestSaffirSimpson:
+    def test_category_boundaries(self):
+        assert saffir_simpson_category(20.0) == 0   # tropical storm
+        assert saffir_simpson_category(33.0) == 1
+        assert saffir_simpson_category(42.9) == 1
+        assert saffir_simpson_category(43.0) == 2
+        assert saffir_simpson_category(50.0) == 3
+        assert saffir_simpson_category(58.0) == 4
+        assert saffir_simpson_category(70.0) == 5
+        assert saffir_simpson_category(95.0) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            saffir_simpson_category(-1.0)
+
+    @given(st.floats(0.0, 120.0))
+    def test_monotone(self, wind):
+        assert saffir_simpson_category(wind + 1.0) >= saffir_simpson_category(wind)
+
+    def test_track_category_uses_peak_wind(self):
+        dets = [
+            Detection(0, 12.0, 180.0, 990.0, 25.0, 1e-4),
+            Detection(1, 12.5, 179.0, 955.0, 52.0, 2e-4),
+            Detection(2, 13.0, 178.0, 970.0, 40.0, 1e-4),
+        ]
+        assert Track(dets).category == 3  # peak 52 m/s
+
+
+class TestCubeExplore:
+    def test_explore_renders(self):
+        from repro.ophidia import Client, Cube, OphidiaServer
+
+        with OphidiaServer(2, 2) as server:
+            client = Client(server)
+            cube = Cube.from_array(
+                np.arange(24.0).reshape(4, 6), ["time", "lat"],
+                client=client, fragment_dim="lat", nfrag=2,
+                measure="tas", description="demo",
+            )
+            text = cube.explore(limit=5)
+        assert "measure='tas'" in text
+        assert "time[4], lat[6]" in text
+        assert "fragments: 2" in text
+        assert "min=0" in text
+        assert "..." in text
+
+    def test_explore_deleted_cube_rejected(self):
+        from repro.ophidia import Client, Cube, OphidiaServer
+
+        with OphidiaServer(1, 1) as server:
+            client = Client(server)
+            cube = Cube.from_array(np.zeros(3), ["x"], client=client)
+            cube.delete()
+            with pytest.raises(RuntimeError):
+                cube.explore()

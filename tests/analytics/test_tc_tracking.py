@@ -1,0 +1,215 @@
+"""Deterministic TC detection and tracking tests."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    Detection,
+    Track,
+    detect_tc_candidates,
+    link_tracks,
+    track_skill,
+)
+from repro.esm import CMCCCM3, Grid, ModelConfig, TropicalCycloneEvent
+
+
+def make_snapshot(grid, centers, deficit=60.0, vmax=35.0):
+    """Synthetic PSL/vorticity/wind fields with idealised cyclones."""
+    psl = np.full(grid.shape, 1013.0)
+    vort = np.zeros(grid.shape)
+    wspd = np.full(grid.shape, 5.0)
+    for clat, clon in centers:
+        r = grid.distance_field_km(clat, clon)
+        psl -= deficit * np.exp(-((r / 300.0) ** 2))
+        sign = 1.0 if clat >= 0 else -1.0
+        vort += sign * 3e-4 * np.exp(-((r / 300.0) ** 2))
+        wspd += vmax * np.exp(-((r / 400.0) ** 2))
+    return psl, vort, wspd
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(48, 72)
+
+
+class TestDetection:
+    def test_detects_single_cyclone(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(15.0, 180.0)])
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert len(dets) == 1
+        d = dets[0]
+        assert abs(d.lat - 15.0) < 5.0
+        assert abs((d.lon - 180.0 + 180) % 360 - 180) < 6.0
+        assert d.min_pressure < 1000.0
+
+    def test_southern_hemisphere_sign(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(-15.0, 60.0)])
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert len(dets) == 1
+        assert dets[0].vorticity < 0  # cyclonic in SH is negative
+
+    def test_wrong_sign_vorticity_rejected(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(15.0, 180.0)])
+        dets = detect_tc_candidates(psl, -vort, wspd, grid.lat, grid.lon)
+        assert dets == []
+
+    def test_quiet_field_no_detections(self, grid):
+        psl = np.full(grid.shape, 1013.0)
+        dets = detect_tc_candidates(
+            psl, np.zeros(grid.shape), np.full(grid.shape, 5.0),
+            grid.lat, grid.lon,
+        )
+        assert dets == []
+
+    def test_weak_low_rejected(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(15.0, 180.0)], deficit=8.0, vmax=5.0)
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert dets == []
+
+    def test_extratropical_low_rejected(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(65.0, 180.0)])
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert dets == []
+
+    def test_two_cyclones(self, grid):
+        psl, vort, wspd = make_snapshot(grid, [(15.0, 60.0), (-12.0, 240.0)])
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert len(dets) == 2
+
+    def test_duplicate_suppression(self, grid):
+        # Two lows 300km apart: only the deepest survives.
+        psl, vort, wspd = make_snapshot(grid, [(15.0, 180.0), (16.0, 182.0)])
+        dets = detect_tc_candidates(psl, vort, wspd, grid.lat, grid.lon)
+        assert len(dets) == 1
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValueError):
+            detect_tc_candidates(
+                np.zeros(5), np.zeros(5), np.zeros(5), grid.lat, grid.lon
+            )
+        with pytest.raises(ValueError):
+            detect_tc_candidates(
+                np.zeros(grid.shape), np.zeros((2, 2)), np.zeros(grid.shape),
+                grid.lat, grid.lon,
+            )
+
+
+def det(step, lat, lon, p=980.0):
+    return Detection(step, lat, lon, p, 30.0, 2e-4)
+
+
+class TestLinking:
+    def test_single_track_linked(self):
+        steps = [[det(s, 12.0 + 0.4 * s, 180.0 - 0.8 * s)] for s in range(6)]
+        tracks = link_tracks(steps, min_track_length=4)
+        assert len(tracks) == 1
+        assert tracks[0].length == 6
+        assert tracks[0].start_step == 0
+        assert tracks[0].end_step == 5
+
+    def test_short_tracks_discarded(self):
+        steps = [[det(0, 12.0, 180.0)], [det(1, 12.3, 179.5)], [], [], []]
+        assert link_tracks(steps, min_track_length=4) == []
+
+    def test_gap_bridging(self):
+        steps = [
+            [det(0, 12.0, 180.0)], [det(1, 12.4, 179.2)], [],
+            [det(3, 13.2, 177.6)], [det(4, 13.6, 176.8)],
+        ]
+        tracks = link_tracks(steps, min_track_length=4, max_gap_steps=1)
+        assert len(tracks) == 1
+        assert tracks[0].length == 4
+
+    def test_distant_detection_starts_new_track(self):
+        steps = [
+            [det(s, 12.0, 180.0 - 0.5 * s), det(s, -15.0, 60.0 + 0.5 * s)]
+            for s in range(5)
+        ]
+        tracks = link_tracks(steps, min_track_length=4)
+        assert len(tracks) == 2
+
+    def test_track_properties(self):
+        t = Track([det(0, 10, 180, 990.0), det(1, 11, 179, 975.0)])
+        assert t.min_pressure == 975.0
+        assert t.max_wind == 30.0
+        assert t.positions() == [(10, 180), (11, 179)]
+
+
+class TestSkill:
+    def test_perfect_detection(self):
+        truth = [[(12.0 + 0.4 * s, 180.0 - 0.8 * s) for s in range(6)]]
+        tracks = [Track([det(s, *truth[0][s]) for s in range(6)])]
+        skill = track_skill(tracks, truth, [0])
+        assert skill.hits == 1 and skill.misses == 0 and skill.false_alarms == 0
+        assert skill.pod == 1.0 and skill.far == 0.0
+        assert skill.mean_center_error_km == pytest.approx(0.0)
+
+    def test_miss_and_false_alarm(self):
+        truth = [[(12.0, 180.0 - s) for s in range(5)]]
+        bogus = Track([det(s, -40.0, 20.0 + s) for s in range(5)])
+        skill = track_skill([bogus], truth, [0])
+        assert skill.misses == 1
+        assert skill.false_alarms == 1
+        assert skill.pod == 0.0
+
+    def test_time_misaligned_track_does_not_match(self):
+        truth = [[(12.0, 180.0 - s) for s in range(5)]]
+        shifted = Track([det(s + 30, 12.0, 180.0 - s) for s in range(5)])
+        skill = track_skill([shifted], truth, [0])
+        assert skill.hits == 0
+
+    def test_one_to_one_matching(self):
+        truth = [[(12.0, 180.0 - s) for s in range(5)]]
+        t1 = Track([det(s, 12.0, 180.0 - s) for s in range(5)])
+        t2 = Track([det(s, 12.5, 180.5 - s) for s in range(5)])
+        skill = track_skill([t1, t2], truth, [0])
+        assert skill.hits == 1
+        assert skill.false_alarms == 1
+
+
+class TestEndToEndOnESM:
+    def test_detects_injected_tcs_in_simulation(self):
+        """Full chain: model output fields → detector → tracker → skill."""
+        config = ModelConfig(n_lat=48, n_lon=72, seed=21)
+        model = CMCCCM3(config)
+        truth_tcs = model.events.tropical_cyclones(2030)
+        assert truth_tcs, "seed must generate at least one TC"
+
+        detections_per_step = []
+        step = 0
+        days = range(
+            min(tc.start_doy for tc in truth_tcs),
+            max(tc.end_doy for tc in truth_tcs) + 1,
+        )
+        day_list = list(days)[:20]  # bound runtime
+        rng = np.random.default_rng(0)
+        noise = model.atmosphere.initial_noise(rng)
+        sst = model.ocean.initialise(2030)
+        first_step_of_day = {}
+        for doy in day_list:
+            fields = model.atmosphere.daily_fields(
+                2030, doy, noise, sst, tropical_cyclones=truth_tcs, rng=rng
+            )
+            first_step_of_day[doy] = step
+            for s in range(4):
+                dets = detect_tc_candidates(
+                    fields["PSL"][s], fields["VORT850"][s],
+                    fields["WSPDSRFAV"][s], model.grid.lat, model.grid.lon,
+                    step=step,
+                )
+                detections_per_step.append(dets)
+                step += 1
+            noise = model.atmosphere.step_noise(noise, rng)
+
+        tracks = link_tracks(detections_per_step, min_track_length=4)
+        assert tracks, "tracker found no storms despite injected TCs"
+
+        covered = [
+            tc for tc in truth_tcs
+            if tc.start_doy in first_step_of_day and tc.end_doy in first_step_of_day
+        ]
+        truth_tracks = [list(tc.track) for tc in covered]
+        starts = [first_step_of_day[tc.start_doy] for tc in covered]
+        if covered:
+            skill = track_skill(tracks, truth_tracks, starts, max_match_km=800.0)
+            assert skill.pod >= 0.5  # majority of fully-covered storms found

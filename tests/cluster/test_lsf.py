@@ -1,0 +1,167 @@
+"""Tests for the LSF-like batch scheduler."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import Cluster, JobState, LSFScheduler, Node, laptop_like, zeus_like
+from repro.cluster.lsf import JobError
+
+
+@pytest.fixture
+def sched():
+    s = LSFScheduler([Node("n1", 4, 16.0), Node("n2", 4, 16.0)])
+    yield s
+    s.shutdown(wait=False)
+
+
+class TestSubmission:
+    def test_simple_job_runs(self, sched):
+        job = sched.bsub(lambda a, b: a + b, 2, 3, name="add")
+        assert job.wait(timeout=5) == 5
+        assert job.state is JobState.DONE
+        assert job.node_name in ("n1", "n2")
+        assert job.runtime_seconds is not None
+
+    def test_job_failure_propagates(self, sched):
+        def boom():
+            raise ValueError("kaput")
+
+        job = sched.bsub(boom, name="boom")
+        with pytest.raises(JobError) as err:
+            job.wait(timeout=5)
+        assert isinstance(err.value.__cause__, ValueError)
+        assert job.state is JobState.EXIT
+
+    def test_oversized_request_rejected_at_submit(self, sched):
+        with pytest.raises(ValueError):
+            sched.bsub(lambda: None, cores=99)
+        with pytest.raises(ValueError):
+            sched.bsub(lambda: None, memory_gb=1e6)
+
+    def test_invalid_core_request(self, sched):
+        with pytest.raises(ValueError):
+            sched.bsub(lambda: None, cores=0)
+
+    def test_bjobs_filtering(self, sched):
+        jobs = [sched.bsub(lambda: 1, name=f"j{i}") for i in range(3)]
+        sched.wait_all(timeout=5)
+        assert len(sched.bjobs(JobState.DONE)) == 3
+        assert [j.job_id for j in sched.bjobs()] == sorted(j.job_id for j in jobs)
+
+
+class TestResourceConstraints:
+    def test_parallelism_bounded_by_cores(self):
+        sched = LSFScheduler([Node("n1", 2, 8.0)])
+        running = []
+        peak = []
+        lock = threading.Lock()
+
+        def task():
+            with lock:
+                running.append(1)
+                peak.append(len(running))
+            time.sleep(0.05)
+            with lock:
+                running.pop()
+
+        for _ in range(6):
+            sched.bsub(task, cores=1)
+        sched.wait_all(timeout=10)
+        assert max(peak) <= 2
+        sched.shutdown(wait=False)
+
+    def test_wide_job_waits_for_space(self):
+        sched = LSFScheduler([Node("n1", 4, 8.0)])
+        release = threading.Event()
+        wide_started = threading.Event()
+
+        sched.bsub(lambda: release.wait(5), cores=3, name="holder")
+        time.sleep(0.1)
+        wide = sched.bsub(lambda: wide_started.set(), cores=4, name="wide")
+        time.sleep(0.15)
+        assert wide.state is JobState.PEND
+        release.set()
+        wide.wait(timeout=5)
+        assert wide_started.is_set()
+        sched.shutdown(wait=False)
+
+    def test_backfill_lets_small_jobs_pass(self):
+        sched = LSFScheduler([Node("n1", 4, 8.0)], backfill=True)
+        release = threading.Event()
+        sched.bsub(lambda: release.wait(5), cores=3, name="holder")
+        time.sleep(0.1)
+        wide = sched.bsub(lambda: "wide", cores=4, name="wide")
+        small = sched.bsub(lambda: "small", cores=1, name="small")
+        assert small.wait(timeout=5) == "small"  # ran despite wide pending
+        assert wide.state is JobState.PEND
+        release.set()
+        assert wide.wait(timeout=5) == "wide"
+        sched.shutdown(wait=False)
+
+    def test_strict_fcfs_blocks_queue(self):
+        sched = LSFScheduler([Node("n1", 4, 8.0)], backfill=False)
+        release = threading.Event()
+        sched.bsub(lambda: release.wait(5), cores=3, name="holder")
+        time.sleep(0.1)
+        sched.bsub(lambda: "wide", cores=4, name="wide")
+        small = sched.bsub(lambda: "small", cores=1, name="small")
+        time.sleep(0.2)
+        assert small.state is JobState.PEND  # stuck behind the wide job
+        release.set()
+        sched.wait_all(timeout=5)
+        assert small.state is JobState.DONE
+        sched.shutdown(wait=False)
+
+
+class TestKill:
+    def test_bkill_pending(self):
+        sched = LSFScheduler([Node("n1", 1, 8.0)])
+        release = threading.Event()
+        sched.bsub(lambda: release.wait(5), name="holder")
+        time.sleep(0.1)
+        victim = sched.bsub(lambda: None, name="victim")
+        assert sched.bkill(victim.job_id) is True
+        assert victim.state is JobState.KILLED
+        with pytest.raises(JobError):
+            victim.wait(timeout=1)
+        release.set()
+        sched.shutdown(wait=True)
+
+    def test_bkill_running_returns_false(self):
+        sched = LSFScheduler([Node("n1", 1, 8.0)])
+        release = threading.Event()
+        job = sched.bsub(lambda: release.wait(5), name="holder")
+        time.sleep(0.1)
+        assert sched.bkill(job.job_id) is False
+        release.set()
+        sched.shutdown(wait=True)
+
+    def test_bkill_unknown_raises(self, sched):
+        with pytest.raises(KeyError):
+            sched.bkill(10**9)
+
+    def test_submit_after_shutdown_rejected(self):
+        sched = LSFScheduler([Node("n1", 1, 8.0)])
+        sched.shutdown(wait=True)
+        with pytest.raises(RuntimeError):
+            sched.bsub(lambda: None)
+
+
+class TestCluster:
+    def test_zeus_like_dimensions(self):
+        with zeus_like() as cluster:
+            assert cluster.total_cores == 8 * 36
+            assert cluster.name == "zeus-sim"
+
+    def test_laptop_like_runs_jobs(self, tmp_path):
+        with laptop_like(scratch_root=str(tmp_path)) as cluster:
+            job = cluster.scheduler.bsub(lambda: 42)
+            assert job.wait(timeout=5) == 42
+            assert cluster.filesystem.root == str(tmp_path)
+
+    def test_cluster_owns_tempdir_when_unset(self):
+        cluster = Cluster("c", [Node("n", 2, 4.0)])
+        assert cluster.filesystem.root
+        cluster.shutdown(wait=False)

@@ -1,0 +1,99 @@
+"""Tests for LSF queues: priorities, selection, runtime limits."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import DEFAULT_QUEUES, LSFScheduler, Node, Queue
+
+
+@pytest.fixture
+def sched():
+    s = LSFScheduler([Node("n1", 1, 8.0)])
+    yield s
+    s.shutdown(wait=False)
+
+
+class TestQueueConfig:
+    def test_default_queues_present(self, sched):
+        assert set(sched.queues) == {"p_short", "p_medium", "p_long"}
+
+    def test_default_queue_is_highest_priority(self, sched):
+        job = sched.bsub(lambda: 1)
+        assert job.queue.name == "p_short"
+        job.wait(timeout=5)
+
+    def test_unknown_queue_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.bsub(lambda: 1, queue="p_magic")
+
+    def test_custom_queues(self):
+        s = LSFScheduler([Node("n", 1, 4.0)], queues=[Queue("only", priority=5)])
+        job = s.bsub(lambda: "ok", queue="only")
+        assert job.wait(timeout=5) == "ok"
+        s.shutdown(wait=False)
+
+    def test_empty_queue_list_rejected(self):
+        with pytest.raises(ValueError):
+            LSFScheduler([Node("n", 1, 4.0)], queues=[])
+
+    def test_queue_validation(self):
+        with pytest.raises(ValueError):
+            Queue("bad", max_runtime_s=0.0)
+
+
+class TestPriorityDispatch:
+    def test_high_priority_queue_jumps_ahead(self):
+        sched = LSFScheduler([Node("n1", 1, 8.0)])
+        release = threading.Event()
+        order = []
+
+        sched.bsub(lambda: release.wait(5), name="holder", queue="p_long")
+        time.sleep(0.1)
+        low = sched.bsub(lambda: order.append("long"), queue="p_long")
+        high = sched.bsub(lambda: order.append("short"), queue="p_short")
+        release.set()
+        sched.wait_all(timeout=5)
+        assert order == ["short", "long"]  # despite later submission
+        sched.shutdown(wait=False)
+
+    def test_same_queue_keeps_submit_order(self):
+        sched = LSFScheduler([Node("n1", 1, 8.0)])
+        release = threading.Event()
+        order = []
+        sched.bsub(lambda: release.wait(5), name="holder", queue="p_medium")
+        time.sleep(0.1)
+        for i in range(3):
+            sched.bsub(lambda i=i: order.append(i), queue="p_medium")
+        release.set()
+        sched.wait_all(timeout=5)
+        assert order == [0, 1, 2]
+        sched.shutdown(wait=False)
+
+
+class TestRuntimeLimits:
+    def test_overrun_job_flagged(self):
+        sched = LSFScheduler(
+            [Node("n1", 1, 8.0)],
+            queues=[Queue("tiny", priority=1, max_runtime_s=0.05)],
+        )
+        job = sched.bsub(lambda: time.sleep(0.15) or "done", queue="tiny")
+        assert job.wait(timeout=5) == "done"  # cooperative: result kept
+        assert job.timed_out is True
+        sched.shutdown(wait=False)
+
+    def test_fast_job_not_flagged(self):
+        sched = LSFScheduler(
+            [Node("n1", 1, 8.0)],
+            queues=[Queue("tiny", priority=1, max_runtime_s=5.0)],
+        )
+        job = sched.bsub(lambda: "quick", queue="tiny")
+        job.wait(timeout=5)
+        assert job.timed_out is False
+        sched.shutdown(wait=False)
+
+    def test_unlimited_queue_never_flags(self, sched):
+        job = sched.bsub(lambda: time.sleep(0.02), queue="p_long")
+        job.wait(timeout=5)
+        assert job.timed_out is False

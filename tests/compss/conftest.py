@@ -1,0 +1,15 @@
+"""Shared fixtures: guarantee no runtime leaks between tests."""
+
+import pytest
+
+from repro.compss import compss_stop
+from repro.compss.api import get_runtime
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    if get_runtime() is not None:
+        compss_stop(wait=False)
+    yield
+    if get_runtime() is not None:
+        compss_stop(wait=False)

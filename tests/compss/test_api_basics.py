@@ -1,0 +1,178 @@
+"""Core task API behaviour: futures, sync, sequential mode, returns."""
+
+import threading
+import time
+
+import pytest
+
+from repro.compss import (
+    COMPSs,
+    Future,
+    compss_barrier,
+    compss_start,
+    compss_stop,
+    compss_wait_on,
+    task,
+)
+from repro.compss.api import get_runtime
+
+
+@task(returns=1)
+def add(a, b):
+    return a + b
+
+
+@task(returns=2)
+def divmod_task(a, b):
+    return a // b, a % b
+
+
+@task()
+def fire_and_forget(sink, value):
+    sink.append(value)
+
+
+@task(returns=object)
+def identity(x):
+    return x
+
+
+class TestSequentialMode:
+    def test_task_without_runtime_runs_synchronously(self):
+        assert add(2, 3) == 5
+
+    def test_wait_on_passthrough(self):
+        assert compss_wait_on(42) == 42
+        assert compss_wait_on([1, 2]) == [1, 2]
+
+    def test_barrier_noop(self):
+        compss_barrier()  # must not raise
+
+
+class TestAsyncExecution:
+    def test_returns_future_and_resolves(self):
+        with COMPSs(n_workers=2):
+            fut = add(2, 3)
+            assert isinstance(fut, Future)
+            assert compss_wait_on(fut) == 5
+
+    def test_returns_object_style_declaration(self):
+        with COMPSs(n_workers=2):
+            assert compss_wait_on(identity("climate")) == "climate"
+
+    def test_multiple_returns(self):
+        with COMPSs(n_workers=2):
+            q, r = divmod_task(17, 5)
+            assert compss_wait_on(q) == 3
+            assert compss_wait_on(r) == 2
+
+    def test_zero_returns(self):
+        sink = []
+        with COMPSs(n_workers=2):
+            assert fire_and_forget(sink, "x") is None
+            compss_barrier()
+        assert sink == ["x"]
+
+    def test_chained_futures(self):
+        with COMPSs(n_workers=2):
+            total = add(add(1, 2), add(3, 4))
+            assert compss_wait_on(total) == 10
+
+    def test_wait_on_containers(self):
+        with COMPSs(n_workers=2):
+            futs = [add(i, i) for i in range(5)]
+            assert compss_wait_on(futs) == [0, 2, 4, 6, 8]
+            d = {"a": add(1, 1), "b": (add(2, 2), 7)}
+            out = compss_wait_on(d)
+            assert out == {"a": 2, "b": (4, 7)}
+
+    def test_tasks_actually_run_concurrently(self):
+        gate = threading.Barrier(3, timeout=5)
+
+        @task(returns=1)
+        def rendezvous():
+            gate.wait()
+            return 1
+
+        with COMPSs(n_workers=4):
+            futs = [rendezvous() for _ in range(3)]
+            assert sum(compss_wait_on(futs)) == 3
+
+    def test_wrong_arity_return_fails_task(self):
+        @task(returns=3)
+        def wrong():
+            return 1, 2
+
+        from repro.compss import TaskFailedError
+
+        with pytest.raises(TaskFailedError):
+            with COMPSs(n_workers=1):
+                compss_wait_on(wrong())
+
+
+class TestRuntimeLifecycle:
+    def test_double_start_rejected(self):
+        compss_start(n_workers=1)
+        with pytest.raises(RuntimeError):
+            compss_start(n_workers=1)
+        compss_stop()
+
+    def test_stop_without_start_is_noop(self):
+        compss_stop()
+
+    def test_context_manager_clears_global(self):
+        with COMPSs(n_workers=1):
+            assert get_runtime() is not None
+        assert get_runtime() is None
+
+    def test_submit_after_stop_rejected(self):
+        rt = compss_start(n_workers=1)
+        compss_stop()
+        with pytest.raises(RuntimeError):
+            rt.submit(lambda: 1, "f", (), {}, {}, [], 0, None, 0)
+
+    def test_barrier_drains_everything(self):
+        done = []
+
+        @task()
+        def slowish(i):
+            time.sleep(0.01)
+            done.append(i)
+
+        with COMPSs(n_workers=4):
+            for i in range(20):
+                slowish(i)
+            compss_barrier()
+            assert len(done) == 20
+
+
+class TestDecoratorValidation:
+    def test_direction_for_unknown_param_rejected(self):
+        from repro.compss import INOUT
+
+        with pytest.raises(TypeError):
+            @task(returns=1, nosuch=INOUT)
+            def f(x):
+                return x
+
+    def test_non_direction_value_rejected(self):
+        with pytest.raises(TypeError):
+            @task(returns=1, x="INOUT")
+            def f(x):
+                return x
+
+    def test_negative_returns_rejected(self):
+        with pytest.raises(ValueError):
+            task(returns=-1)
+
+    def test_task_metadata_preserved(self):
+        assert add.__name__ == "add"
+        assert add._compss_task is True
+
+    def test_nested_task_call_runs_inline(self):
+        @task(returns=1)
+        def outer(x):
+            return add(x, 1)  # nested: must execute synchronously
+
+        with COMPSs(n_workers=2):
+            assert compss_wait_on(outer(4)) == 5

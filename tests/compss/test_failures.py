@@ -1,0 +1,163 @@
+"""Fault-tolerance policies: FAIL, RETRY, IGNORE, CANCEL_SUCCESSORS."""
+
+import threading
+
+import pytest
+
+from repro.compss import (
+    COMPSs,
+    OnFailure,
+    TaskCancelledError,
+    TaskFailedError,
+    compss_barrier,
+    compss_wait_on,
+    task,
+)
+
+
+class TestFailPolicy:
+    def test_wait_on_raises_task_failed(self):
+        @task(returns=1)
+        def boom():
+            raise ValueError("bad")
+
+        with pytest.raises(TaskFailedError) as err:
+            with COMPSs(n_workers=2):
+                compss_wait_on(boom())
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_exit_barrier_raises(self):
+        @task(returns=1)
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(TaskFailedError):
+            with COMPSs(n_workers=2):
+                boom()
+                # context-exit barrier must surface the failure
+
+    def test_descendants_cancelled(self):
+        @task(returns=1)
+        def boom():
+            raise RuntimeError("x")
+
+        @task(returns=1)
+        def follow(x):
+            return x
+
+        # The exit barrier re-raises the workflow failure (FAIL policy).
+        with pytest.raises(TaskFailedError):
+            with COMPSs(n_workers=2) as rt:
+                f = follow(boom())
+                rt.barrier(raise_on_error=False)
+                with pytest.raises(TaskCancelledError):
+                    compss_wait_on(f)
+                states = rt.graph.counts_by_state()
+                assert states["FAILED"] == 1
+                assert states["CANCELLED"] == 1
+
+    def test_independent_tasks_still_finish(self):
+        @task(returns=1)
+        def boom():
+            raise RuntimeError("x")
+
+        @task(returns=1)
+        def ok():
+            return 7
+
+        with pytest.raises(TaskFailedError):
+            with COMPSs(n_workers=2) as rt:
+                boom()
+                good = ok()
+                rt.barrier(raise_on_error=False)
+                assert compss_wait_on(good) == 7
+                assert rt.failed
+
+
+class TestRetryPolicy:
+    def test_retry_until_success(self):
+        attempts = []
+        lock = threading.Lock()
+
+        @task(returns=1, on_failure=OnFailure.RETRY, max_retries=3)
+        def flaky():
+            with lock:
+                attempts.append(1)
+                if len(attempts) < 3:
+                    raise IOError("transient")
+            return "ok"
+
+        with COMPSs(n_workers=2):
+            assert compss_wait_on(flaky()) == "ok"
+        assert len(attempts) == 3
+
+    def test_retry_exhaustion_fails(self):
+        @task(returns=1, on_failure="RETRY", max_retries=2)
+        def always_bad():
+            raise IOError("permanent")
+
+        with pytest.raises(TaskFailedError):
+            with COMPSs(n_workers=2):
+                compss_wait_on(always_bad())
+
+    def test_retry_policy_string_coercion(self):
+        assert OnFailure.coerce("retry") is OnFailure.RETRY
+        assert OnFailure.coerce(OnFailure.IGNORE) is OnFailure.IGNORE
+        with pytest.raises(ValueError):
+            OnFailure.coerce("nope")
+
+
+class TestIgnorePolicy:
+    def test_ignored_failure_yields_none(self):
+        @task(returns=1, on_failure=OnFailure.IGNORE)
+        def boom():
+            raise RuntimeError("meh")
+
+        @task(returns=1)
+        def after(x):
+            return "ran" if x is None else "unexpected"
+
+        with COMPSs(n_workers=2) as rt:
+            out = after(boom())
+            assert compss_wait_on(out) == "ran"
+            assert not rt.failed
+
+
+class TestCancelSuccessorsPolicy:
+    def test_successors_cancelled_workflow_survives(self):
+        @task(returns=1, on_failure=OnFailure.CANCEL_SUCCESSORS)
+        def boom():
+            raise RuntimeError("branch dead")
+
+        @task(returns=1)
+        def follow(x):
+            return x
+
+        @task(returns=1)
+        def ok():
+            return 1
+
+        with COMPSs(n_workers=2) as rt:
+            dead = follow(boom())
+            alive = ok()
+            rt.barrier(raise_on_error=False)
+            assert compss_wait_on(alive) == 1
+            with pytest.raises(TaskCancelledError):
+                compss_wait_on(dead)
+            assert not rt.failed  # workflow-level error not set
+
+    def test_transitive_cancellation(self):
+        @task(returns=1, on_failure="CANCEL_SUCCESSORS")
+        def boom():
+            raise RuntimeError("x")
+
+        @task(returns=1)
+        def chain(x):
+            return x
+
+        with COMPSs(n_workers=2) as rt:
+            c = chain(chain(chain(boom())))
+            rt.barrier(raise_on_error=False)
+            assert rt.graph.counts_by_state()["CANCELLED"] == 3
+            with pytest.raises(TaskCancelledError):
+                compss_wait_on(c)

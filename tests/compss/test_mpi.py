@@ -1,0 +1,179 @@
+"""Tests for the @mpi decorator and the in-process mini-MPI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compss import COMPSs, MPIError, compss_wait_on, mpi, task
+
+
+class TestCollectives:
+    def test_rank_and_size(self):
+        @mpi(processes=4)
+        def who(comm):
+            return (comm.rank, comm.size)
+
+        assert who() == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_bcast(self):
+        @mpi(processes=3)
+        def get(comm):
+            value = {"payload": 42} if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        results = get()
+        assert all(r == {"payload": 42} for r in results)
+
+    def test_bcast_nonzero_root(self):
+        @mpi(processes=3)
+        def get(comm):
+            return comm.bcast("x" if comm.rank == 2 else None, root=2)
+
+        assert get() == ["x", "x", "x"]
+
+    def test_scatter_gather_roundtrip(self):
+        @mpi(processes=4, root_only=True)
+        def pipeline(comm):
+            chunk = comm.scatter([10, 20, 30, 40] if comm.rank == 0 else None)
+            return comm.gather(chunk + comm.rank)
+
+        assert pipeline() == [10, 21, 32, 43]
+
+    def test_scatter_wrong_length(self):
+        @mpi(processes=3)
+        def bad(comm):
+            return comm.scatter([1, 2] if comm.rank == 0 else None)
+
+        with pytest.raises(MPIError):
+            bad()
+
+    def test_allgather(self):
+        @mpi(processes=3)
+        def names(comm):
+            return comm.allgather(f"r{comm.rank}")
+
+        assert names() == [["r0", "r1", "r2"]] * 3
+
+    def test_reduce_ops(self):
+        for op, expected in (("sum", 0 + 1 + 2 + 3), ("prod", 0),
+                             ("max", 3), ("min", 0)):
+            @mpi(processes=4, root_only=True)
+            def reduced(comm, op=op):
+                return comm.reduce(comm.rank, op=op)
+
+            assert reduced() == expected
+
+    def test_allreduce_arrays(self):
+        @mpi(processes=3)
+        def vec(comm):
+            return comm.allreduce(np.full(4, comm.rank + 1.0), op="sum")
+
+        for result in vec():
+            np.testing.assert_array_equal(result, np.full(4, 6.0))
+
+    def test_unknown_op(self):
+        @mpi(processes=2)
+        def bad(comm):
+            return comm.allreduce(1, op="median")
+
+        with pytest.raises(MPIError):
+            bad()
+
+    def test_nonroot_reduce_returns_none(self):
+        @mpi(processes=2)
+        def r(comm):
+            return comm.reduce(comm.rank, root=0)
+
+        assert r() == [1, None]
+
+
+class TestPointToPoint:
+    def test_send_recv_ring(self):
+        @mpi(processes=4)
+        def ring(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right)
+            return comm.recv(source=left)
+
+        assert ring() == [3, 0, 1, 2]
+
+    def test_tags_separate_messages(self):
+        @mpi(processes=2)
+        def tagged(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert tagged()[1] == ("a", "b")
+
+    def test_bad_destination(self):
+        @mpi(processes=2)
+        def bad(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=5)
+
+        with pytest.raises(MPIError):
+            bad()
+
+
+class TestFailureHandling:
+    def test_failing_rank_breaks_barrier_not_deadlock(self):
+        @mpi(processes=3)
+        def crashes(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 dies")
+            comm.barrier()  # would deadlock without abort propagation
+            return comm.rank
+
+        with pytest.raises(MPIError):
+            crashes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mpi(processes=0)
+
+
+class TestComposition:
+    def test_mpi_under_task(self):
+        """@task above @mpi: the whole MPI run is one workflow task."""
+
+        @task(returns=1)
+        @mpi(processes=4, root_only=True)
+        def parallel_sum(comm, data):
+            chunks = None
+            if comm.rank == 0:
+                chunks = np.array_split(np.asarray(data), comm.size)
+            chunk = comm.scatter(chunks, root=0)
+            return comm.reduce(float(np.sum(chunk)), op="sum", root=0)
+
+        data = list(range(100))
+        with COMPSs(n_workers=2):
+            out = compss_wait_on(parallel_sum(data))
+        assert out == float(sum(data))
+
+    def test_mpi_metadata(self):
+        @mpi(processes=5)
+        def f(comm):
+            return None
+
+        assert f._compss_mpi_processes == 5
+
+    @given(st.integers(1, 8), st.lists(st.integers(-100, 100), min_size=1,
+                                       max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_sum_matches_serial(self, procs, data):
+        @mpi(processes=procs, root_only=True)
+        def psum(comm, values):
+            chunks = None
+            if comm.rank == 0:
+                chunks = [list(values[i::comm.size]) for i in range(comm.size)]
+            mine = comm.scatter(chunks, root=0)
+            return comm.reduce(sum(mine), op="sum", root=0)
+
+        assert psum(data) == sum(data)

@@ -1,0 +1,96 @@
+"""Inter-worker data-transfer accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.compss import COMPSs, compss_wait_on, task
+from repro.compss.runtime import COMPSsRuntime
+
+
+@task(returns=1)
+def produce_array(n):
+    return np.zeros(n, dtype=np.float64)
+
+
+@task(returns=1)
+def consume(arr):
+    return float(arr.sum())
+
+
+class TestEstimator:
+    def test_arrays_use_nbytes(self):
+        assert COMPSsRuntime._estimate_nbytes(np.zeros(10)) == 80
+
+    def test_containers_sum(self):
+        est = COMPSsRuntime._estimate_nbytes([np.zeros(4), np.zeros(6)])
+        assert est == 32 + 48
+        est = COMPSsRuntime._estimate_nbytes({"a": np.zeros(2)})
+        assert est == 16
+
+    def test_scalars_small_but_positive(self):
+        assert 0 < COMPSsRuntime._estimate_nbytes(42) < 1000
+
+    def test_unsizable_is_safe(self):
+        assert COMPSsRuntime._estimate_nbytes(object()) >= 0
+
+
+class TestAccounting:
+    def test_single_worker_all_local(self):
+        with COMPSs(n_workers=1) as rt:
+            compss_wait_on(consume(produce_array(100)))
+            stats = dict(rt.transfer_stats)
+        assert stats["remote_transfers"] == 0
+        assert stats["local_hits"] == 1
+        assert stats["bytes_transferred"] == 0
+
+    def test_hits_plus_transfers_equal_dependencies(self):
+        with COMPSs(n_workers=3) as rt:
+            chain = produce_array(50)
+            for _ in range(6):
+                chain = consume_chain(chain)
+            compss_wait_on(chain)
+            stats = dict(rt.transfer_stats)
+            n_edges = len(rt.graph.edges())
+        assert stats["local_hits"] + stats["remote_transfers"] == n_edges
+
+    def test_remote_transfer_counts_producer_bytes(self):
+        """Force producer and consumer onto different workers via a
+        blocking decoy that pins one worker."""
+        import threading
+
+        gate = threading.Event()
+
+        @task()
+        def decoy():
+            gate.wait(5)
+
+        with COMPSs(n_workers=2) as rt:
+            big = produce_array(1000)        # 8000 bytes
+            compss_wait_on(big)              # producer done, on some worker
+            producer_worker = rt.graph.task(1).worker_id
+            # Pin the producer's worker with the decoy, so the consumer
+            # must run on the other worker.
+            # (Scheduling is FIFO; the decoy grabs the first free worker,
+            # which may or may not be the producer's — accept either, but
+            # assert the accounting matches the placement.)
+            decoy()
+            out = consume(big)
+            import time
+
+            time.sleep(0.2)
+            gate.set()
+            compss_wait_on(out)
+            consumer_worker = [
+                t.worker_id for t in rt.graph.tasks() if t.func_name == "consume"
+            ][0]
+            stats = dict(rt.transfer_stats)
+        if consumer_worker == producer_worker:
+            assert stats["bytes_transferred"] == 0
+        else:
+            assert stats["bytes_transferred"] == 8000
+            assert stats["remote_transfers"] == 1
+
+
+@task(returns=1)
+def consume_chain(arr):
+    return arr + 1.0

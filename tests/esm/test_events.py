@@ -1,0 +1,118 @@
+"""Tests for ground-truth event generation."""
+
+import numpy as np
+import pytest
+
+from repro.esm import (
+    ColdWaveEvent,
+    EventGenerator,
+    Grid,
+    HeatWaveEvent,
+    TropicalCycloneEvent,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return Grid(32, 48)
+
+
+class TestHeatColdWaves:
+    def test_anomaly_peak_at_center(self, grid):
+        ev = HeatWaveEvent(2030, 100, 8, 40.0, 90.0, 1200.0, 10.0)
+        anom = ev.anomaly(grid, 103)
+        i, j = grid.nearest_index(40.0, 90.0)
+        assert anom[i, j] == pytest.approx(anom.max())
+        assert anom.max() > 8.0
+
+    def test_inactive_day_is_zero(self, grid):
+        ev = HeatWaveEvent(2030, 100, 8, 40.0, 90.0, 1200.0, 10.0)
+        assert ev.anomaly(grid, 99).max() == 0.0
+        assert ev.anomaly(grid, 108).max() == 0.0
+        assert ev.active_on(100) and ev.active_on(107)
+        assert ev.end_doy == 107
+
+    def test_edge_days_ramped(self, grid):
+        ev = HeatWaveEvent(2030, 100, 8, 40.0, 90.0, 1200.0, 10.0)
+        assert ev.anomaly(grid, 100).max() < ev.anomaly(grid, 103).max()
+
+    def test_cold_wave_is_negative(self, grid):
+        ev = ColdWaveEvent(2030, 20, 7, 50.0, 40.0, 1200.0, 9.0)
+        anom = ev.anomaly(grid, 23)
+        assert anom.min() < -7.0
+        assert anom.max() <= 0.0
+
+    def test_to_dict_roundtrippable(self):
+        ev = HeatWaveEvent(2030, 100, 8, 40.0, 90.0, 1200.0, 10.0)
+        d = ev.to_dict()
+        assert d["kind"] == "heat_wave"
+        assert ColdWaveEvent(2030, 1, 6, 0, 0, 1, 1).to_dict()["kind"] == "cold_wave"
+
+
+class TestTropicalCyclone:
+    def _tc(self):
+        track = tuple((10.0 + 0.2 * s, (200.0 - 0.8 * s) % 360) for s in range(20))
+        return TropicalCycloneEvent(2030, 240, track, 50.0, 940.0)
+
+    def test_duration_and_indexing(self):
+        tc = self._tc()
+        assert tc.n_steps == 20
+        assert tc.duration_days == 5
+        assert tc.end_doy == 244
+        assert tc.step_index(240, 0) == 0
+        assert tc.step_index(241, 2) == 6
+        assert tc.step_index(239, 0) is None
+        assert tc.step_index(245, 0) is None
+
+    def test_intensity_envelope(self):
+        tc = self._tc()
+        vals = [tc.intensity(i) for i in range(tc.n_steps)]
+        assert max(vals) <= 1.0
+        assert vals[0] < max(vals)
+        assert vals[-1] < max(vals)
+        assert all(v >= 0 for v in vals)
+
+    def test_to_dict(self):
+        d = self._tc().to_dict()
+        assert d["kind"] == "tropical_cyclone"
+        assert len(d["track"]) == 20
+
+
+class TestEventGenerator:
+    def test_deterministic_per_seed(self, grid):
+        g1 = EventGenerator(grid, seed=5).events_for_year(2030)
+        g2 = EventGenerator(grid, seed=5).events_for_year(2030)
+        assert g1 == g2
+
+    def test_different_years_differ(self, grid):
+        gen = EventGenerator(grid, seed=5)
+        assert gen.events_for_year(2030) != gen.events_for_year(2031)
+
+    def test_counts_in_ranges(self, grid):
+        gen = EventGenerator(grid, seed=1)
+        for year in (2030, 2031, 2032):
+            ev = gen.events_for_year(year)
+            assert 2 <= len(ev["heat_waves"]) <= 4
+            assert 1 <= len(ev["cold_waves"]) <= 3
+            assert 3 <= len(ev["tropical_cyclones"]) <= 6
+
+    def test_heat_waves_meet_definition_minimum(self, grid):
+        gen = EventGenerator(grid, seed=2)
+        for ev in gen.heat_waves(2030):
+            assert ev.duration_days >= 6       # ETCCDI heat-wave minimum
+            assert ev.amplitude_k >= 8.0       # comfortably above the +5K bar
+            assert ev.end_doy <= 365
+
+    def test_tc_genesis_in_tropics(self, grid):
+        gen = EventGenerator(grid, seed=3)
+        for tc in gen.tropical_cyclones(2030):
+            lat0, _ = tc.track[0]
+            assert 5.0 <= abs(lat0) <= 22.0
+
+    def test_tc_tracks_move(self, grid):
+        gen = EventGenerator(grid, seed=3)
+        for tc in gen.tropical_cyclones(2030):
+            lats = [p[0] for p in tc.track]
+            assert len(set(lats)) > 1
+            # Poleward drift overall.
+            assert abs(lats[-1]) > abs(lats[0]) - 1.0

@@ -1,0 +1,52 @@
+"""Tests for the simulated containerised execution runtime."""
+
+import time
+
+import pytest
+
+from repro.hpcwaas import ContainerImageCreationService, ContainerRuntime
+
+
+@pytest.fixture
+def image():
+    return ContainerImageCreationService().build("rt", ["numpy"])
+
+
+class TestContainerRuntime:
+    def test_cold_then_warm_per_node(self, image):
+        rt = ContainerRuntime(image, cold_start_seconds=0.0, warm_start_seconds=0.0)
+        assert rt.run(lambda x: x + 1, 1, node="a") == 2
+        assert rt.run(lambda x: x + 1, 2, node="a") == 3
+        assert rt.run(lambda x: x + 1, 3, node="b") == 4
+        assert rt.cold_starts == 2   # nodes a and b
+        assert rt.warm_starts == 1
+
+    def test_cold_start_latency_paid_once(self, image):
+        rt = ContainerRuntime(image, cold_start_seconds=0.1, warm_start_seconds=0.0)
+        t0 = time.monotonic()
+        rt.run(lambda: None, node="n")
+        cold = time.monotonic() - t0
+        t0 = time.monotonic()
+        rt.run(lambda: None, node="n")
+        warm = time.monotonic() - t0
+        assert cold >= 0.09
+        assert warm < 0.05
+
+    def test_kwargs_passthrough(self, image):
+        rt = ContainerRuntime(image, 0.0, 0.0)
+        assert rt.run(lambda a, b=0: a + b, 1, b=4) == 5
+
+    def test_exceptions_propagate(self, image):
+        rt = ContainerRuntime(image, 0.0, 0.0)
+
+        def boom():
+            raise ValueError("inside the container")
+
+        with pytest.raises(ValueError):
+            rt.run(boom)
+        # A failed run still warms the node (the image was pulled).
+        assert rt.cold_starts == 1
+
+    def test_negative_latency_rejected(self, image):
+        with pytest.raises(ValueError):
+            ContainerRuntime(image, cold_start_seconds=-1.0)

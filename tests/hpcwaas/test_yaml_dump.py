@@ -1,0 +1,109 @@
+"""YAML emitter tests, including parse(dump(x)) == x round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpcwaas import YAMLError, dump_yaml, parse_yaml
+
+
+class TestDumpBasics:
+    def test_scalars(self):
+        assert parse_yaml(dump_yaml({"a": 1})) == {"a": 1}
+        assert parse_yaml(dump_yaml({"a": 1.5})) == {"a": 1.5}
+        assert parse_yaml(dump_yaml({"a": True})) == {"a": True}
+        assert parse_yaml(dump_yaml({"a": None})) == {"a": None}
+        assert parse_yaml(dump_yaml({"a": "text"})) == {"a": "text"}
+
+    def test_strings_needing_quotes(self):
+        for tricky in ("true", "42", "x: y", "#hash", "[bracket", "", " pad "):
+            out = parse_yaml(dump_yaml({"k": tricky}))
+            assert out == {"k": tricky}, tricky
+
+    def test_nested_structures(self):
+        doc = {
+            "topology_template": {
+                "inputs": {"years": [2030, 2031]},
+                "node_templates": {
+                    "app": {
+                        "type": "eflows.nodes.PyCOMPSsApplication",
+                        "requirements": [{"host": "zeus"}, {"dependency": "env"}],
+                    },
+                },
+            },
+        }
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_list_of_multi_key_mappings(self):
+        doc = {"steps": [{"name": "load", "retries": 2}, {"name": "go"}]}
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_flow_list_used_for_scalar_lists(self):
+        text = dump_yaml({"packages": ["numpy", "scipy"]})
+        assert "[numpy, scipy]" in text
+
+    def test_empty_list_roundtrip(self):
+        assert parse_yaml(dump_yaml({"xs": []})) == {"xs": []}
+
+    def test_unrepresentable_rejected(self):
+        with pytest.raises(YAMLError):
+            dump_yaml({})
+        with pytest.raises(YAMLError):
+            dump_yaml({"a": {}})
+        with pytest.raises(YAMLError):
+            dump_yaml([[1, 2]])
+
+
+_plain_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           blacklist_characters="'"),
+    max_size=12,
+)
+#: Mapping keys additionally exclude ':' and '#' (parser key grammar).
+_key_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           blacklist_characters="':#"),
+    min_size=1, max_size=12,
+).map(str.strip).filter(bool)
+_scalars = st.one_of(
+    st.integers(-10**6, 10**6),
+    st.floats(-1e6, 1e6, allow_nan=False).map(lambda f: round(f, 4)),
+    st.booleans(),
+    st.none(),
+    _plain_text,
+)
+
+
+@st.composite
+def yaml_docs(draw, depth=2):
+    if depth == 0:
+        return draw(
+            st.dictionaries(_key_text, _scalars, min_size=1,
+                            max_size=3)
+        )
+    value = st.one_of(
+        _scalars,
+        st.lists(_scalars, max_size=3),
+        yaml_docs(depth=depth - 1),
+        st.lists(
+            st.dictionaries(_key_text, _scalars, min_size=1,
+                            max_size=2),
+            min_size=1, max_size=2,
+        ),
+    )
+    return draw(
+        st.dictionaries(_key_text, value, min_size=1, max_size=4)
+    )
+
+
+class TestRoundTripProperty:
+    @given(yaml_docs())
+    @settings(max_examples=80, deadline=None)
+    def test_parse_dump_roundtrip(self, doc):
+        assert parse_yaml(dump_yaml(doc)) == doc
+
+    def test_case_study_tosca_roundtrips(self):
+        from repro.workflow import CASE_STUDY_TOSCA
+
+        doc = parse_yaml(CASE_STUDY_TOSCA)
+        assert parse_yaml(dump_yaml(doc)) == doc

@@ -1,0 +1,126 @@
+"""End-to-end TC localizer tests: training, skill, snapshot pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ml import TCLocalizer, localize_in_snapshot, make_patch_dataset
+from repro.ml.tc_localizer import CHANNELS, _background, _vortex
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One shared, quickly-trained model for the expensive tests."""
+    model = TCLocalizer(patch=16, seed=0)
+    data = make_patch_dataset(n_samples=900, patch=16, seed=1)
+    history = model.fit(data, epochs=6, batch_size=64, lr=2e-3, seed=2)
+    model.fit(data, epochs=6, batch_size=64, lr=1e-3, seed=3)  # fine-tune
+    return model, data, history
+
+
+class TestDataset:
+    def test_dataset_shapes_and_balance(self):
+        data = make_patch_dataset(n_samples=200, patch=16, seed=0)
+        assert data.patches.shape == (200, 4, 16, 16)
+        assert 0.3 < data.presence.mean() < 0.7
+        assert np.all((data.centers >= 0) & (data.centers <= 1))
+
+    def test_deterministic(self):
+        a = make_patch_dataset(n_samples=50, seed=3)
+        b = make_patch_dataset(n_samples=50, seed=3)
+        np.testing.assert_array_equal(a.patches, b.patches)
+
+    def test_positive_patches_have_signature(self):
+        rng = np.random.default_rng(0)
+        bg = _background(rng, 16)
+        vortex = _vortex(rng, 16, (8.0, 8.0))
+        with_tc = bg + vortex
+        assert with_tc[1].min() < bg[1].min() - 10  # pressure deficit
+        assert with_tc[2].max() > bg[2].max() + 5   # wind
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            make_patch_dataset(10, positive_fraction=0.0)
+
+
+class TestModel:
+    def test_patch_divisibility(self):
+        with pytest.raises(ValueError):
+            TCLocalizer(patch=10)
+
+    def test_untrained_predict_rejected(self):
+        model = TCLocalizer(patch=16)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 4, 16, 16)))
+
+    def test_training_converges(self, trained):
+        _, _, history = trained
+        assert history.loss[-1] < history.loss[0] * 0.5
+
+    def test_detection_skill(self, trained):
+        model, _, _ = trained
+        test_data = make_patch_dataset(n_samples=300, patch=16, seed=99)
+        metrics = model.evaluate(test_data)
+        assert metrics["accuracy"] >= 0.85
+        assert metrics["center_error_cells"] <= 3.0
+
+    def test_save_load_preserves_predictions(self, trained, tmp_path):
+        model, data, _ = trained
+        path = str(tmp_path / "tc.pkl")
+        model.save(path)
+        loaded = TCLocalizer.load(path)
+        p1, c1 = model.predict(data.patches[:10])
+        p2, c2 = loaded.predict(data.patches[:10])
+        np.testing.assert_allclose(p1, p2)
+        np.testing.assert_allclose(c1, c2)
+
+
+class TestSnapshotPipeline:
+    def test_localizes_vortex_in_global_snapshot(self, trained):
+        model, _, _ = trained
+        n_lat, n_lon = 48, 96
+        lat = np.linspace(-87, 87, n_lat)
+        lon = np.arange(0, 360, 360 / n_lon)
+        rng = np.random.default_rng(5)
+
+        # Build a quiet global background, then composite one vortex.
+        fields = {}
+        base = _background(rng, 16)  # reuse channel scales
+        fields["T850"] = np.full((n_lat, n_lon), 270.0) + rng.normal(0, 1.5, (n_lat, n_lon))
+        fields["PSL"] = np.full((n_lat, n_lon), 1013.0) + rng.normal(0, 1.0, (n_lat, n_lon))
+        fields["WSPDSRFAV"] = np.abs(rng.normal(6.0, 1.5, (n_lat, n_lon)))
+        fields["VORT850"] = rng.normal(0, 4e-6, (n_lat, n_lon))
+
+        ci, cj = 30, 40  # inside one patch
+        vortex = _vortex(np.random.default_rng(1), 16, (ci % 16, cj % 16))
+        i0, j0 = (ci // 16) * 16, (cj // 16) * 16
+        for ch_idx, name in enumerate(CHANNELS):
+            fields[name][i0:i0 + 16, j0:j0 + 16] += vortex[ch_idx]
+
+        found = localize_in_snapshot(model, fields, lat, lon, threshold=0.5)
+        assert found, "no TC localized"
+        best = max(found, key=lambda f: f[2])
+        true_lat, true_lon = lat[ci], lon[cj]
+        assert abs(best[0] - true_lat) < 15.0
+        assert abs((best[1] - true_lon + 180) % 360 - 180) < 15.0
+
+    def test_missing_channel_rejected(self, trained):
+        model, _, _ = trained
+        with pytest.raises(KeyError):
+            localize_in_snapshot(model, {"PSL": np.zeros((16, 16))},
+                                 np.zeros(16), np.zeros(16))
+
+    def test_quiet_snapshot_mostly_empty(self, trained):
+        model, _, _ = trained
+        rng = np.random.default_rng(6)
+        n_lat, n_lon = 32, 64
+        fields = {
+            "T850": np.full((n_lat, n_lon), 270.0) + rng.normal(0, 1.0, (n_lat, n_lon)),
+            "PSL": np.full((n_lat, n_lon), 1013.0) + rng.normal(0, 0.8, (n_lat, n_lon)),
+            "WSPDSRFAV": np.abs(rng.normal(6.0, 1.0, (n_lat, n_lon))),
+            "VORT850": rng.normal(0, 3e-6, (n_lat, n_lon)),
+        }
+        found = localize_in_snapshot(
+            model, fields, np.linspace(-80, 80, n_lat),
+            np.arange(0, 360, 360 / n_lon), threshold=0.5,
+        )
+        assert len(found) <= 2  # at most a couple of false alarms

@@ -1,0 +1,91 @@
+"""Tests for the noleap calendar and CF time encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netcdf import NoLeapCalendar, decode_time, encode_time, time_axis_for_days
+from repro.netcdf.cf import DAYS_PER_YEAR, NOLEAP_MONTH_LENGTHS
+
+
+class TestNoLeapCalendar:
+    def test_month_lengths_sum(self):
+        assert sum(NOLEAP_MONTH_LENGTHS) == DAYS_PER_YEAR == 365
+
+    def test_day_of_year_endpoints(self):
+        assert NoLeapCalendar.day_of_year(1, 1) == 1
+        assert NoLeapCalendar.day_of_year(12, 31) == 365
+        assert NoLeapCalendar.day_of_year(3, 1) == 60  # no Feb 29
+
+    def test_feb_29_invalid(self):
+        assert not NoLeapCalendar.is_valid(2020, 2, 29)
+        with pytest.raises(ValueError):
+            NoLeapCalendar.day_of_year(2, 29)
+
+    def test_from_day_of_year_inverse(self):
+        for doy in range(1, 366):
+            month, day = NoLeapCalendar.from_day_of_year(doy)
+            assert NoLeapCalendar.day_of_year(month, day) == doy
+
+    def test_from_day_of_year_bounds(self):
+        with pytest.raises(ValueError):
+            NoLeapCalendar.from_day_of_year(0)
+        with pytest.raises(ValueError):
+            NoLeapCalendar.from_day_of_year(366)
+
+    @given(st.integers(0, 4000), st.integers(1, 12), st.integers(1, 28))
+    def test_ordinal_roundtrip(self, year, month, day):
+        ordinal = NoLeapCalendar.to_ordinal(year, month, day)
+        assert NoLeapCalendar.from_ordinal(ordinal) == (year, month, day)
+
+    def test_ordinal_year_boundary(self):
+        dec31 = NoLeapCalendar.to_ordinal(2015, 12, 31)
+        jan1 = NoLeapCalendar.to_ordinal(2016, 1, 1)
+        assert jan1 == dec31 + 1
+
+
+class TestTimeEncoding:
+    def test_encode_days_since(self):
+        vals = encode_time([(2015, 1, 1), (2015, 1, 2), (2016, 1, 1)], "days since 2015-01-01")
+        np.testing.assert_array_equal(vals, [0.0, 1.0, 365.0])
+
+    def test_encode_hours_since(self):
+        vals = encode_time([(2015, 1, 2)], "hours since 2015-01-01")
+        np.testing.assert_array_equal(vals, [24.0])
+
+    def test_decode_floors_subdaily(self):
+        dates = decode_time(np.array([0.0, 0.25, 0.75, 1.0]), "days since 2015-01-01")
+        assert dates == [(2015, 1, 1), (2015, 1, 1), (2015, 1, 1), (2015, 1, 2)]
+
+    def test_roundtrip(self):
+        dates = [(2020, 6, 15), (2021, 12, 31)]
+        vals = encode_time(dates, "days since 2015-01-01")
+        assert decode_time(vals, "days since 2015-01-01") == dates
+
+    def test_bad_units_rejected(self):
+        with pytest.raises(ValueError):
+            encode_time([(2015, 1, 1)], "fortnights since 2015-01-01")
+        with pytest.raises(ValueError):
+            encode_time([(2015, 1, 1)], "days after 2015-01-01")
+
+
+class TestTimeAxis:
+    def test_six_hourly_axis(self):
+        axis = time_axis_for_days(2015, 1, 2, 4)
+        np.testing.assert_allclose(axis, [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75])
+
+    def test_axis_offsets_by_year_and_doy(self):
+        axis = time_axis_for_days(2016, 10, 1, 1)
+        # 2016-01-01 is day 365; day-of-year 10 adds 9 more.
+        np.testing.assert_allclose(axis, [365.0 + 9.0])
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            time_axis_for_days(2015, 1, 1, 0)
+
+    def test_decode_axis_days(self):
+        axis = time_axis_for_days(2015, 60, 2, 4)
+        dates = decode_time(axis, "days since 2015-01-01")
+        assert dates[0] == (2015, 3, 1)
+        assert dates[4] == (2015, 3, 2)

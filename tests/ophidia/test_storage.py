@@ -1,0 +1,91 @@
+"""Tests for I/O servers and the storage pool."""
+
+import numpy as np
+import pytest
+
+from repro.ophidia import IOServer, StoragePool
+
+
+class TestIOServer:
+    def test_put_get(self):
+        s = IOServer("io0")
+        s.put(1, np.arange(5))
+        np.testing.assert_array_equal(s.get(1), np.arange(5))
+
+    def test_counters(self):
+        s = IOServer("io0")
+        data = np.zeros(10, dtype=np.float64)
+        s.put(1, data)
+        s.get(1)
+        s.get(1)
+        assert s.stats.fragment_writes == 1
+        assert s.stats.fragment_reads == 2
+        assert s.stats.bytes_written == 80
+        assert s.stats.bytes_read == 160
+
+    def test_missing_fragment(self):
+        s = IOServer("io0")
+        with pytest.raises(KeyError):
+            s.get(99)
+
+    def test_delete_idempotent(self):
+        s = IOServer("io0")
+        s.put(1, np.zeros(3))
+        s.delete(1)
+        s.delete(1)
+        assert s.stats.fragment_deletes == 1
+        assert 1 not in s
+
+    def test_resident_bytes(self):
+        s = IOServer("io0")
+        s.put(1, np.zeros(4, dtype=np.float64))
+        s.put(2, np.zeros(2, dtype=np.float32))
+        assert s.resident_bytes == 32 + 8
+        assert s.n_fragments == 2
+
+
+class TestStoragePool:
+    def test_round_robin_placement(self):
+        pool = StoragePool(n_servers=3)
+        for _ in range(6):
+            pool.store(np.zeros(1))
+        assert [s.n_fragments for s in pool.servers] == [2, 2, 2]
+
+    def test_store_load_roundtrip(self):
+        pool = StoragePool(2)
+        fid = pool.store(np.arange(4))
+        np.testing.assert_array_equal(pool.load(fid), np.arange(4))
+
+    def test_unknown_fragment(self):
+        pool = StoragePool(1)
+        with pytest.raises(KeyError):
+            pool.load(123)
+
+    def test_delete_many(self):
+        pool = StoragePool(2)
+        fids = [pool.store(np.zeros(2)) for _ in range(4)]
+        pool.delete_many(fids)
+        assert pool.n_fragments == 0
+        assert pool.total_stats().fragment_deletes == 4
+
+    def test_total_stats_aggregates(self):
+        pool = StoragePool(2)
+        fids = [pool.store(np.zeros(2)) for _ in range(4)]
+        for fid in fids:
+            pool.load(fid)
+        agg = pool.total_stats()
+        assert agg.fragment_writes == 4
+        assert agg.fragment_reads == 4
+
+    def test_stats_snapshot_delta(self):
+        pool = StoragePool(1)
+        fid = pool.store(np.zeros(2))
+        before = pool.total_stats()
+        pool.load(fid)
+        delta = pool.total_stats().delta(before)
+        assert delta.fragment_reads == 1
+        assert delta.fragment_writes == 0
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ValueError):
+            StoragePool(0)

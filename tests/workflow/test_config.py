@@ -1,0 +1,43 @@
+"""WorkflowParams validation tests."""
+
+import pytest
+
+from repro.workflow import WorkflowParams
+
+
+class TestWorkflowParams:
+    def test_defaults_valid(self):
+        p = WorkflowParams()
+        assert p.years == [2030]
+        assert p.n_days == 60
+
+    def test_from_dict(self):
+        p = WorkflowParams.from_dict({"years": [2031, 2032], "n_days": 10})
+        assert p.years == [2031, 2032]
+        assert p.n_days == 10
+
+    def test_from_dict_coerces_years(self):
+        p = WorkflowParams.from_dict({"years": ["2031"]})
+        assert p.years == [2031]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown workflow parameters"):
+            WorkflowParams.from_dict({"bogus": 1})
+
+    def test_empty_years_rejected(self):
+        with pytest.raises(ValueError):
+            WorkflowParams(years=[])
+
+    def test_n_days_bounds(self):
+        with pytest.raises(ValueError):
+            WorkflowParams(n_days=0)
+        with pytest.raises(ValueError):
+            WorkflowParams(n_days=366)
+
+    def test_min_length_vs_days(self):
+        with pytest.raises(ValueError):
+            WorkflowParams(n_days=5, min_length_days=6)
+
+    def test_target_grid_patch_divisibility(self):
+        with pytest.raises(ValueError):
+            WorkflowParams(tc_target_grid=(30, 64))
