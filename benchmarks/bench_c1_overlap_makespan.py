@@ -13,6 +13,7 @@ tracer shows nonzero ESM/analytics co-execution only in overlapped mode.
 
 from benchmarks.conftest import print_table
 from repro.cluster import laptop_like
+from repro.observability import snapshot_value
 from repro.workflow import WorkflowParams, run_extreme_events_workflow
 
 
@@ -35,10 +36,18 @@ def test_c1_overlap_beats_sequential(benchmark, tmp_path, tc_model_path):
         rounds=1, iterations=1,
     )
 
-    seq_span = sequential["schedule"]["makespan_s"]
-    ovl_span = overlapped["schedule"]["makespan_s"]
-    seq_overlap = sequential["schedule"]["esm_analytics_overlap_s"]
-    ovl_overlap = overlapped["schedule"]["esm_analytics_overlap_s"]
+    # Headline numbers come from each run's exported metrics snapshot
+    # (the telemetry registry delta), not ad-hoc summary fields.
+    seq_span = snapshot_value(sequential["metrics"], "workflow_makespan_seconds")
+    ovl_span = snapshot_value(overlapped["metrics"], "workflow_makespan_seconds")
+    seq_overlap = snapshot_value(
+        sequential["metrics"], "workflow_esm_analytics_overlap_seconds")
+    ovl_overlap = snapshot_value(
+        overlapped["metrics"], "workflow_esm_analytics_overlap_seconds")
+
+    # The registry view must agree with the tracer-derived schedule.
+    assert seq_span == sequential["schedule"]["makespan_s"]
+    assert ovl_overlap == overlapped["schedule"]["esm_analytics_overlap_s"]
 
     # Shape: who wins — overlapped; by what mechanism — co-execution.
     assert ovl_span < seq_span
@@ -52,9 +61,9 @@ def test_c1_overlap_beats_sequential(benchmark, tmp_path, tc_model_path):
         ["mode", "makespan (s)", "ESM/analytics overlap (s)", "utilisation"],
         [
             ["sequential", f"{seq_span:.2f}", f"{seq_overlap:.2f}",
-             f"{sequential['schedule']['worker_utilisation']:.2f}"],
+             f"{snapshot_value(sequential['metrics'], 'workflow_worker_utilisation'):.2f}"],
             ["overlapped", f"{ovl_span:.2f}", f"{ovl_overlap:.2f}",
-             f"{overlapped['schedule']['worker_utilisation']:.2f}"],
+             f"{snapshot_value(overlapped['metrics'], 'workflow_worker_utilisation'):.2f}"],
             ["speedup", f"{seq_span / ovl_span:.2f}x", "", ""],
         ],
     )

@@ -37,6 +37,8 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the CNN TC localizer")
     parser.add_argument("--scratch", default=None,
                         help="cluster scratch directory (kept after the run)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="copy the merged Perfetto trace JSON here")
 
 
 def _params_from_args(args) -> "WorkflowParams":
@@ -49,14 +51,25 @@ def _params_from_args(args) -> "WorkflowParams":
     )
 
 
+def _export_trace(fs, params, trace_out: "str | None") -> None:
+    """Copy the run's merged trace JSON from *fs* to a host path."""
+    if not trace_out:
+        return
+    with open(trace_out, "wb") as fh:
+        fh.write(fs.read_bytes(f"{params.results_dir}/trace.json"))
+    print(f"# trace: {trace_out}", file=sys.stderr)
+
+
 def _cmd_run(args) -> int:
     from repro.cluster import laptop_like
     from repro.workflow import run_extreme_events_workflow
 
+    params = _params_from_args(args)
     with laptop_like(scratch_root=args.scratch) as cluster:
-        summary = run_extreme_events_workflow(cluster, _params_from_args(args))
+        summary = run_extreme_events_workflow(cluster, params)
         print(json.dumps(summary, indent=1, default=str))
         print(f"# artefacts: {cluster.filesystem.root}/results/", file=sys.stderr)
+        _export_trace(cluster.filesystem, params, args.trace_out)
     return 0
 
 
@@ -65,14 +78,74 @@ def _cmd_run_distributed(args) -> int:
     from repro.hpcwaas import FederatedDataLogistics, Federation
     from repro.workflow import run_distributed_extreme_events
 
+    params = _params_from_args(args)
     dls = FederatedDataLogistics(wan_bandwidth_mbps=args.wan_mbps)
     with Federation(dls=dls) as fed:
         fed.add_site(Cluster("hpc-sim", [Node("h1", 8, 32.0)]),
                      role="simulation")
         fed.add_site(Cluster("cloud-sim", [Node("c1", 4, 16.0)]),
                      role="analytics")
-        summary = run_distributed_extreme_events(fed, _params_from_args(args))
+        summary = run_distributed_extreme_events(fed, params)
         print(json.dumps(summary, indent=1, default=str))
+        _export_trace(fed.for_role("analytics").filesystem, params,
+                      args.trace_out)
+    return 0
+
+
+def _metrics_selftest() -> int:
+    """Exercise the registry, spans and exporters end to end."""
+    from repro.observability import (
+        MetricsRegistry, TraceCollector, build_perfetto_trace,
+        record_span, render_run_report, span,
+    )
+
+    registry = MetricsRegistry()
+    registry.counter("selftest_total", "Selftest counter",
+                     labels=("case",)).inc(case="counter")
+    registry.gauge("selftest_gauge", "Selftest gauge").set(1.0)
+    registry.histogram("selftest_seconds", "Selftest histogram").observe(0.01)
+    snap = registry.snapshot()
+    assert snap.value("selftest_total", case="counter") == 1
+    assert "selftest_total" in snap.to_prometheus()
+    assert registry.snapshot().delta(snap).value(
+        "selftest_total", case="counter"
+    ) == 0, "idle counter delta must be zero"
+
+    collector = TraceCollector()
+    with span("selftest.root", layer="workflow", collector=collector) as root:
+        with span("selftest.child", layer="compss", collector=collector):
+            pass
+        record_span("selftest.recorded", layer="scheduler", start=0.0, end=0.1,
+                    parent=root.context, collector=collector)
+    spans = collector.spans()
+    assert len(spans) == 3
+    assert len({s.trace_id for s in spans}) == 1
+
+    trace = json.loads(build_perfetto_trace(spans, []))
+    assert any(ev.get("ph") == "X" for ev in trace["traceEvents"])
+    report = render_run_report(snap, spans, title="selftest")
+    assert "selftest" in report
+
+    n_series = sum(len(f["series"]) for f in snap.to_json().values())
+    print(f"observability selftest: OK ({len(spans)} spans, "
+          f"{n_series} series)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.observability import get_registry, snapshot_from_json
+
+    if args.selftest:
+        return _metrics_selftest()
+    if getattr(args, "from_path", None):
+        with open(args.from_path) as fh:
+            snap = snapshot_from_json(json.load(fh))
+    else:
+        snap = get_registry().snapshot()
+    if args.format == "json":
+        print(json.dumps(snap.to_json(), indent=1))
+    else:
+        print(snap.to_prometheus(), end="")
     return 0
 
 
@@ -186,6 +259,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="baseline file (relative to data_dir)")
     idx.add_argument("--min-length", type=int, default=6)
     idx.set_defaults(fn=_cmd_indices)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump telemetry metrics as Prometheus text or JSON"
+    )
+    metrics.add_argument("--from", dest="from_path", default=None,
+                         metavar="PATH",
+                         help="read a metrics.json or run_summary.json "
+                              "instead of the in-process registry")
+    metrics.add_argument("--format", choices=("prom", "json"), default="prom")
+    metrics.add_argument("--selftest", action="store_true",
+                         help="exercise registry, spans and exporters")
+    metrics.set_defaults(fn=_cmd_metrics)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

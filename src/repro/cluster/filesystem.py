@@ -10,6 +10,7 @@ counters.
 from __future__ import annotations
 
 import fnmatch
+import itertools
 import os
 import threading
 from dataclasses import dataclass, field
@@ -17,6 +18,12 @@ from typing import List
 
 from repro.netcdf import Dataset, read_dataset, write_dataset
 from repro.netcdf.io import read_header
+from repro.observability.metrics import get_registry
+from repro.observability.spans import maybe_span
+
+#: Distinguishes the series of multiple filesystem instances (compute
+#: scratch vs analytics store) inside the one shared registry.
+_fs_ids = itertools.count(0)
 
 
 @dataclass
@@ -59,8 +66,60 @@ class SharedFilesystem:
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = os.path.abspath(os.fspath(root))
         os.makedirs(self.root, exist_ok=True)
-        self.stats = FilesystemStats()
         self._lock = threading.Lock()
+        #: Label value distinguishing this instance's registry series.
+        self.fs_label = f"{os.path.basename(self.root) or 'fs'}-{next(_fs_ids)}"
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _count(self, op: str, nbytes_read: int = 0, nbytes_written: int = 0) -> None:
+        registry = get_registry()
+        registry.counter(
+            "fs_operations_total", "Shared-filesystem operations",
+            labels=("fs", "op"),
+        ).inc(fs=self.fs_label, op=op)
+        if nbytes_read:
+            registry.counter(
+                "fs_bytes_read_total", "Bytes read from shared filesystems",
+                labels=("fs",),
+            ).inc(nbytes_read, fs=self.fs_label)
+        if nbytes_written:
+            registry.counter(
+                "fs_bytes_written_total", "Bytes written to shared filesystems",
+                labels=("fs",),
+            ).inc(nbytes_written, fs=self.fs_label)
+
+    @property
+    def stats(self) -> FilesystemStats:
+        """This instance's counters, as a view over the shared registry.
+
+        Historically the filesystem kept a private tally; the registry is
+        now the single source of truth and this property derives the same
+        dataclass from it, so ``fs.stats.snapshot()`` / ``.delta()``
+        call sites keep working unchanged.
+        """
+        registry = get_registry()
+        ops = registry.counter(
+            "fs_operations_total", "Shared-filesystem operations",
+            labels=("fs", "op"),
+        )
+        reads = sum(
+            ops.value(fs=self.fs_label, op=op)
+            for op in ("read", "read_header", "read_bytes")
+        )
+        writes = sum(
+            ops.value(fs=self.fs_label, op=op) for op in ("write", "write_bytes")
+        )
+        return FilesystemStats(
+            reads=int(reads),
+            writes=int(writes),
+            bytes_read=int(registry.counter_value(
+                "fs_bytes_read_total", fs=self.fs_label)),
+            bytes_written=int(registry.counter_value(
+                "fs_bytes_written_total", fs=self.fs_label)),
+            lists=int(ops.value(fs=self.fs_label, op="list")),
+            deletes=int(ops.value(fs=self.fs_label, op="delete")),
+        )
 
     # -- path handling -----------------------------------------------------
 
@@ -80,27 +139,28 @@ class SharedFilesystem:
         """Write an RNC dataset; returns bytes written."""
         full = self._resolve(rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
-        nbytes = write_dataset(dataset, full)
-        with self._lock:
-            self.stats.writes += 1
-            self.stats.bytes_written += nbytes
+        with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
+                        attrs={"fs": self.fs_label, "path": rel_path}) as h:
+            nbytes = write_dataset(dataset, full)
+            h.set_attr("nbytes", nbytes)
+        self._count("write", nbytes_written=nbytes)
         return nbytes
 
     def read(self, rel_path: str, variables=None) -> Dataset:
         """Read an RNC dataset (optionally a variable subset)."""
         full = self._resolve(rel_path)
-        ds = read_dataset(full, variables=variables)
-        with self._lock:
-            self.stats.reads += 1
-            self.stats.bytes_read += ds.nbytes
+        with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
+                        attrs={"fs": self.fs_label, "path": rel_path}) as h:
+            ds = read_dataset(full, variables=variables)
+            h.set_attr("nbytes", ds.nbytes)
+        self._count("read", nbytes_read=ds.nbytes)
         return ds
 
     def read_header(self, rel_path: str) -> dict:
         """Read only the metadata header; counts as a (cheap) read."""
         full = self._resolve(rel_path)
         header = read_header(full)
-        with self._lock:
-            self.stats.reads += 1
+        self._count("read_header")
         return header
 
     # -- raw bytes (checkpoints, logs, images) --------------------------------
@@ -108,20 +168,22 @@ class SharedFilesystem:
     def write_bytes(self, rel_path: str, payload: bytes) -> int:
         full = self._resolve(rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
-        with open(full, "wb") as fh:
-            n = fh.write(payload)
-        with self._lock:
-            self.stats.writes += 1
-            self.stats.bytes_written += n
+        with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
+                        attrs={"fs": self.fs_label, "path": rel_path,
+                               "nbytes": len(payload)}):
+            with open(full, "wb") as fh:
+                n = fh.write(payload)
+        self._count("write_bytes", nbytes_written=n)
         return n
 
     def read_bytes(self, rel_path: str) -> bytes:
         full = self._resolve(rel_path)
-        with open(full, "rb") as fh:
-            payload = fh.read()
-        with self._lock:
-            self.stats.reads += 1
-            self.stats.bytes_read += len(payload)
+        with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
+                        attrs={"fs": self.fs_label, "path": rel_path}) as h:
+            with open(full, "rb") as fh:
+                payload = fh.read()
+            h.set_attr("nbytes", len(payload))
+        self._count("read_bytes", nbytes_read=len(payload))
         return payload
 
     # -- namespace ops ---------------------------------------------------------
@@ -135,8 +197,7 @@ class SharedFilesystem:
     def listdir(self, rel_path: str = ".") -> List[str]:
         """Sorted directory listing; empty if the directory doesn't exist."""
         full = self._resolve(rel_path)
-        with self._lock:
-            self.stats.lists += 1
+        self._count("list")
         if not os.path.isdir(full):
             return []
         return sorted(os.listdir(full))
@@ -151,8 +212,7 @@ class SharedFilesystem:
     def delete(self, rel_path: str) -> None:
         full = self._resolve(rel_path)
         os.remove(full)
-        with self._lock:
-            self.stats.deletes += 1
+        self._count("delete")
 
     def size(self, rel_path: str) -> int:
         return os.path.getsize(self._resolve(rel_path))

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.node import Allocation, Node
+from repro.observability.metrics import get_registry
+from repro.observability.spans import activate, current_context, maybe_span, record_span
 
 
 class JobState(enum.Enum):
@@ -107,6 +109,9 @@ class Job:
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self._done = threading.Event()
+        #: Span context of the submitter; the job thread re-enters it so
+        #: the batch execution joins the submitting workflow's trace.
+        self._trace_ctx = current_context()
 
     def wait(self, timeout: Optional[float] = None) -> Any:
         """Block until the job finishes; return its result.
@@ -223,6 +228,10 @@ class LSFScheduler:
             self._pending.append(job)
             self._jobs[job.job_id] = job
             self._wake.notify_all()
+        get_registry().counter(
+            "lsf_jobs_submitted_total", "Batch jobs submitted by queue",
+            labels=("queue",),
+        ).inc(queue=job_queue.name)
         return job
 
     def bjobs(self, state: Optional[JobState] = None) -> List[Job]:
@@ -314,21 +323,48 @@ class LSFScheduler:
         job.start_time = time.monotonic()
         node = next(n for n in self.nodes if n.name == alloc.node_name)
 
+        registry = get_registry()
+        queue_name = job.queue.name if job.queue else ""
+        registry.histogram(
+            "lsf_queue_wait_seconds", "Pending time before dispatch, by queue",
+            labels=("queue",),
+        ).observe(job.start_time - job.submit_time, queue=queue_name)
+        record_span(
+            f"pend:{job.name}#{job.job_id}", layer="cluster",
+            start=job.submit_time, end=job.start_time, parent=job._trace_ctx,
+            attrs={"job_id": job.job_id, "queue": queue_name},
+        )
+
         def body() -> None:
-            try:
-                job.result = job.fn(*job.args, **job.kwargs)
-                job.state = JobState.DONE
-            except BaseException as exc:  # noqa: BLE001 - report to waiter
-                job.exception = exc
-                job.state = JobState.EXIT
-            finally:
-                job.end_time = time.monotonic()
-                limit = job.queue.max_runtime_s if job.queue else None
-                if limit is not None and job.runtime_seconds > limit:
-                    job.timed_out = True  # LSF TERM_RUNLIMIT analogue
-                node.release(alloc)
-                job._done.set()
-                with self._wake:
-                    self._wake.notify_all()
+            with activate(job._trace_ctx), maybe_span(
+                f"job:{job.name}#{job.job_id}", layer="cluster",
+                attrs={"job_id": job.job_id, "queue": queue_name,
+                       "node": alloc.node_name, "cores": job.request.cores},
+            ) as handle:
+                try:
+                    job.result = job.fn(*job.args, **job.kwargs)
+                    job.state = JobState.DONE
+                except BaseException as exc:  # noqa: BLE001 - report to waiter
+                    handle.set_status("ERROR")
+                    handle.set_attr("error", repr(exc))
+                    job.exception = exc
+                    job.state = JobState.EXIT
+                finally:
+                    job.end_time = time.monotonic()
+                    limit = job.queue.max_runtime_s if job.queue else None
+                    if limit is not None and job.runtime_seconds > limit:
+                        job.timed_out = True  # LSF TERM_RUNLIMIT analogue
+                    registry.counter(
+                        "lsf_jobs_total", "Finished batch jobs by final state",
+                        labels=("state",),
+                    ).inc(state=job.state.value)
+                    registry.histogram(
+                        "lsf_job_runtime_seconds", "Job wall time by queue",
+                        labels=("queue",),
+                    ).observe(job.runtime_seconds, queue=queue_name)
+                    node.release(alloc)
+                    job._done.set()
+                    with self._wake:
+                        self._wake.notify_all()
 
         threading.Thread(target=body, name=f"lsf-job-{job.job_id}", daemon=True).start()

@@ -30,9 +30,11 @@ from repro.compss.checkpoint import CheckpointManager
 from repro.compss.failures import OnFailure, TaskCancelledError, TaskFailedError
 from repro.compss.future import Future
 from repro.compss.parameter import Direction
-from repro.compss.scheduler import FIFOPolicy, SchedulerPolicy
+from repro.compss.scheduler import FIFOPolicy, InstrumentedPolicy, SchedulerPolicy
 from repro.compss.task_graph import TaskGraph, TaskNode, TaskState
 from repro.compss.tracing import TaskEvent, Tracer
+from repro.observability.metrics import get_registry
+from repro.observability.spans import activate, current_context, maybe_span, record_span
 
 #: Worker threads set this so task bodies that call other @task functions
 #: degrade to plain synchronous calls (PyCOMPSs does not nest tasks).
@@ -88,6 +90,9 @@ class COMPSsRuntime:
         self.config = config or RuntimeConfig()
         self.graph = TaskGraph()
         self.tracer = Tracer()
+        #: Telemetry wrapper: counts every scheduling decision in the
+        #: shared registry without the policy implementations knowing.
+        self._policy = InstrumentedPolicy(self.config.scheduler)
         self._task_ids = itertools.count(1)
         self._submit_order = itertools.count(0)
 
@@ -156,6 +161,14 @@ class COMPSsRuntime:
             task_id, func_name, fn, args, kwargs, n_returns, futures,
             on_failure, max_retries, computing_units, priority, label,
         )
+        # Capture the submitter's span context so the worker that later
+        # executes this task joins the same trace (workers are long-lived
+        # threads and do not inherit the submitting context).
+        node.trace_ctx = current_context()
+        get_registry().counter(
+            "compss_tasks_submitted_total", "Task submissions by function",
+            labels=("function",),
+        ).inc(function=func_name)
         # Checkpoint recovery: a completed prior run satisfies this call.
         if self.config.checkpoint is not None:
             signature = self.config.checkpoint.next_signature(func_name)
@@ -217,6 +230,7 @@ class COMPSsRuntime:
             self._active_tasks += 1
             if not outstanding:
                 node.state = TaskState.READY
+                node.ready_at = _time.monotonic()
                 self._ready.append(node)
                 self._wake.notify_all()
 
@@ -274,7 +288,7 @@ class COMPSsRuntime:
         fitting = [t for t in self._ready if t.computing_units <= self._free_units]
         if not fitting:
             return None
-        chosen = self.config.scheduler.select(fitting, worker_id, self.graph)
+        chosen = self._policy.select(fitting, worker_id, self.graph)
         if chosen is not None:
             self._ready.remove(chosen)
         return chosen
@@ -293,6 +307,21 @@ class COMPSsRuntime:
             self.transfer_stats["local_hits"] += local
             self.transfer_stats["remote_transfers"] += remote
             self.transfer_stats["bytes_transferred"] += moved
+        registry = get_registry()
+        transfers = registry.counter(
+            "compss_transfers_total",
+            "Dependency placements by kind (local hit vs inter-worker move)",
+            labels=("kind",),
+        )
+        if local:
+            transfers.inc(local, kind="local_hit")
+        if remote:
+            transfers.inc(remote, kind="remote")
+        if moved:
+            registry.counter(
+                "compss_transfer_bytes_total",
+                "Bytes moved between workers for dependencies",
+            ).inc(moved)
 
     @staticmethod
     def _estimate_nbytes(value: Any, depth: int = 0) -> int:
@@ -320,24 +349,50 @@ class COMPSsRuntime:
             return 0
 
     def _execute(self, node: TaskNode, worker_id: int) -> None:
-        self._account_transfers(node, worker_id)
-        start = self.tracer.now()
-        try:
-            mat_args = tuple(self._materialise(a) for a in node.args)
-            mat_kwargs = {k: self._materialise(v) for k, v in node.kwargs.items()}
-            result = node.fn(*mat_args, **mat_kwargs)
-        except BaseException as exc:  # noqa: BLE001 - policy decides
-            self.tracer.record(TaskEvent(
-                node.task_id, node.func_name, worker_id,
-                start, self.tracer.now(), "FAILED",
-            ))
-            self._handle_failure(node, exc)
-            return
-        self.tracer.record(TaskEvent(
-            node.task_id, node.func_name, worker_id,
-            start, self.tracer.now(), "COMPLETED",
-        ))
-        self._complete(node, result, mat_args, mat_kwargs)
+        # Queue-wait is only known at dispatch: record it retroactively,
+        # parented to the submitter's context so it lands in the trace
+        # between submission and execution.
+        dispatch = _time.monotonic()
+        if node.ready_at is not None:
+            wait = max(0.0, dispatch - node.ready_at)
+            get_registry().histogram(
+                "compss_queue_wait_seconds",
+                "Time tasks spend in the ready queue before dispatch",
+                labels=("function",),
+            ).observe(wait, function=node.func_name)
+            record_span(
+                f"queue:{node.func_name}#{node.task_id}", layer="scheduler",
+                start=node.ready_at, end=dispatch, parent=node.trace_ctx,
+                attrs={"task_id": node.task_id, "worker_id": worker_id},
+            )
+        with activate(node.trace_ctx):
+            with maybe_span(
+                f"{node.func_name}#{node.task_id}", layer="compss",
+                attrs={"task_id": node.task_id, "worker_id": worker_id,
+                       "attempt": node.attempts},
+            ) as handle:
+                self._account_transfers(node, worker_id)
+                start = self.tracer.now()
+                try:
+                    mat_args = tuple(self._materialise(a) for a in node.args)
+                    mat_kwargs = {
+                        k: self._materialise(v) for k, v in node.kwargs.items()
+                    }
+                    result = node.fn(*mat_args, **mat_kwargs)
+                except BaseException as exc:  # noqa: BLE001 - policy decides
+                    handle.set_status("ERROR")
+                    handle.set_attr("error", repr(exc))
+                    self.tracer.record(TaskEvent(
+                        node.task_id, node.func_name, worker_id,
+                        start, self.tracer.now(), "FAILED",
+                    ))
+                    self._handle_failure(node, exc)
+                    return
+                self.tracer.record(TaskEvent(
+                    node.task_id, node.func_name, worker_id,
+                    start, self.tracer.now(), "COMPLETED",
+                ))
+            self._complete(node, result, mat_args, mat_kwargs)
 
     @staticmethod
     def _materialise(value: Any) -> Any:
@@ -410,6 +465,7 @@ class COMPSsRuntime:
         if policy is OnFailure.RETRY and node.attempts <= node.max_retries:
             with self._wake:
                 node.state = TaskState.READY
+                node.ready_at = _time.monotonic()
                 self._free_units += node.computing_units
                 self._ready.append(node)
                 self._wake.notify_all()
@@ -484,6 +540,7 @@ class COMPSsRuntime:
                 succ = self.graph.task(succ_id)
                 if remaining == 0 and succ.state is TaskState.PENDING:
                     succ.state = TaskState.READY
+                    succ.ready_at = _time.monotonic()
                     self._ready.append(succ)
         self._wake.notify_all()
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
+from repro.observability.metrics import MetricsRegistry, get_registry
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compss.task_graph import TaskGraph, TaskNode
 
@@ -90,6 +92,34 @@ class DataLocalityPolicy(SchedulerPolicy):
             key=lambda i: (locality(ready[i]), -ready[i].submit_order),
         )
         return ready.pop(idx)
+
+
+class InstrumentedPolicy(SchedulerPolicy):
+    """Transparent wrapper that counts decisions in the metrics registry.
+
+    The runtime wraps its configured policy in one of these so every
+    scheduling decision shows up as
+    ``compss_scheduler_selections_total{policy=...}`` without any policy
+    implementation knowing about telemetry.  ``select`` runs under the
+    runtime lock, so the wrapper only touches the (leaf) registry lock.
+    """
+
+    def __init__(self, inner: SchedulerPolicy,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self._registry = registry
+
+    def select(self, ready, worker_id, graph):
+        chosen = self.inner.select(ready, worker_id, graph)
+        if chosen is not None:
+            registry = self._registry or get_registry()
+            registry.counter(
+                "compss_scheduler_selections_total",
+                "Scheduling decisions by policy",
+                labels=("policy",),
+            ).inc(policy=self.name)
+        return chosen
 
 
 def policy_by_name(name: str) -> SchedulerPolicy:

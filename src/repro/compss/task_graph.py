@@ -65,6 +65,12 @@ class TaskNode:
     #: for inter-worker transfer accounting.
     result_nbytes: int = 0
 
+    #: Telemetry: the submitting span context (so the executing worker
+    #: joins the submitter's trace) and the monotonic time the task last
+    #: entered the ready queue (for queue-wait accounting).
+    trace_ctx: Any = None
+    ready_at: Optional[float] = None
+
     #: Completion signal: set when the task reaches a terminal state.
     done_event: threading.Event = field(default_factory=threading.Event)
 

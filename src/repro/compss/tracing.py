@@ -15,6 +15,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.observability.metrics import MetricsRegistry, get_registry
+
 
 @dataclass(frozen=True)
 class TaskEvent:
@@ -33,12 +35,19 @@ class TaskEvent:
 
 
 class Tracer:
-    """Accumulates :class:`TaskEvent` records; thread-safe."""
+    """Accumulates :class:`TaskEvent` records; thread-safe.
 
-    def __init__(self) -> None:
+    The tracer is the single bookkeeping point for task attempts: every
+    :meth:`record` also feeds the shared observability registry
+    (``compss_tasks_total`` and ``compss_task_duration_seconds``), so
+    the event list and the metrics snapshot can never disagree.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._events: List[TaskEvent] = []
         self._lock = threading.Lock()
         self.epoch = time.monotonic()
+        self._registry = registry
 
     def now(self) -> float:
         """Seconds since the tracer was created."""
@@ -47,6 +56,15 @@ class Tracer:
     def record(self, event: TaskEvent) -> None:
         with self._lock:
             self._events.append(event)
+        registry = self._registry or get_registry()
+        registry.counter(
+            "compss_tasks_total", "Task attempts by function and final state",
+            labels=("function", "state"),
+        ).inc(function=event.func_name, state=event.state)
+        registry.histogram(
+            "compss_task_duration_seconds", "Task attempt wall time",
+            labels=("function",),
+        ).observe(event.duration, function=event.func_name)
 
     @property
     def events(self) -> List[TaskEvent]:
@@ -143,7 +161,14 @@ class Tracer:
         return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
 
     def gantt(self, width: int = 72) -> str:
-        """ASCII Gantt chart: one row per worker."""
+        """ASCII Gantt chart: one row per worker.
+
+        *width* is clamped to at least 8 columns: narrower charts
+        degenerate (sub-pixel tasks paint zero-width bars and rows no
+        longer line up with the makespan label).  Every event paints at
+        least one in-bounds cell regardless of its duration.
+        """
+        width = max(8, int(width))
         events = self.events
         if not events:
             return "(no events)"
@@ -155,7 +180,7 @@ class Tracer:
         for w in workers:
             rows[w] = [" "] * width
         for e in sorted(events, key=lambda e: e.start):
-            lo = int((e.start - t0) / span * (width - 1))
+            lo = min(max(0, int((e.start - t0) / span * (width - 1))), width - 1)
             hi = max(lo + 1, int((e.end - t0) / span * (width - 1)) + 1)
             glyph = e.func_name[0] if e.func_name else "?"
             for i in range(lo, min(hi, width)):

@@ -23,6 +23,8 @@ from typing import Any, Dict, List, Optional
 from repro.cluster.lsf import Job, JobError, JobState
 from repro.hpcwaas.registry import WorkflowRegistry
 from repro.hpcwaas.yorc import DeploymentState, YorcOrchestrator
+from repro.observability.metrics import get_registry
+from repro.observability.spans import maybe_span, span
 
 
 class ExecutionState(enum.Enum):
@@ -116,13 +118,37 @@ class HPCWaaSAPI:
         merged = dict(record.default_params)
         merged.update(params)
 
+        registry = get_registry()
+        registry.counter(
+            "hpcwaas_invocations_total", "Workflow invocations by workflow id",
+            labels=("workflow",),
+        ).inc(workflow=workflow_id)
+
         def run_workflow():
-            if self.orchestrator is not None:
-                for pipeline in deployment.execution_pipelines:
-                    self.orchestrator.dls.execute(
-                        pipeline, deployment.cluster.filesystem
-                    )
-            return record.entrypoint(deployment.cluster, merged)
+            with maybe_span(f"execute:{workflow_id}", layer="hpcwaas") as handle:
+                try:
+                    if self.orchestrator is not None:
+                        for pipeline in deployment.execution_pipelines:
+                            with maybe_span(f"dls:{pipeline}",
+                                            layer="hpcwaas"):
+                                self.orchestrator.dls.execute(
+                                    pipeline, deployment.cluster.filesystem
+                                )
+                    result = record.entrypoint(deployment.cluster, merged)
+                except BaseException:
+                    handle.set_status("ERROR")
+                    registry.counter(
+                        "hpcwaas_executions_total",
+                        "Finished executions by outcome",
+                        labels=("workflow", "outcome"),
+                    ).inc(workflow=workflow_id, outcome="failed")
+                    raise
+                registry.counter(
+                    "hpcwaas_executions_total",
+                    "Finished executions by outcome",
+                    labels=("workflow", "outcome"),
+                ).inc(workflow=workflow_id, outcome="completed")
+                return result
 
         # The TOSCA ComputeAccess template declares the target queue.
         queue = None
@@ -132,9 +158,14 @@ class HPCWaaSAPI:
                 if candidate in deployment.cluster.scheduler.queues:
                     queue = candidate
                 break
-        job = deployment.cluster.scheduler.bsub(
-            run_workflow, name=f"hpcwaas-{workflow_id}", queue=queue,
-        )
+        # A root span around submission: an API invocation with no
+        # surrounding trace starts one, and the batch job (which captures
+        # this context in ``bsub``) joins it.
+        with span(f"invoke:{workflow_id}", layer="hpcwaas",
+                  attrs={"workflow": workflow_id, "queue": queue or ""}):
+            job = deployment.cluster.scheduler.bsub(
+                run_workflow, name=f"hpcwaas-{workflow_id}", queue=queue,
+            )
         execution = Execution(next(self._ids), workflow_id, merged, job)
         with self._lock:
             self._executions[execution.execution_id] = execution

@@ -28,6 +28,19 @@ class YAMLError(ValueError):
 _KEY_RE = re.compile(r"^(?P<key>[^:#]+?)\s*:(?:\s+(?P<value>.*))?$")
 
 
+def _parse_key(text: str, line_no: int) -> Any:
+    """Parse a mapping key; only hashable scalars are valid keys.
+
+    ``_parse_scalar`` can yield a flow list (``[]: value``), which real
+    YAML allows as a complex key but a Python dict cannot hold — reject
+    it with a :class:`YAMLError` instead of crashing on insertion.
+    """
+    key = _parse_scalar(text, line_no)
+    if isinstance(key, (list, dict)):
+        raise YAMLError(f"unsupported non-scalar mapping key {text!r}", line_no)
+    return key
+
+
 def _strip_comment(text: str) -> str:
     """Drop a trailing comment that is outside quotes."""
     in_single = in_double = False
@@ -188,7 +201,7 @@ class _Parser:
         if match is None:
             raise YAMLError(f"bad mapping entry {first!r}", no)
         result = {}
-        key = _parse_scalar(match.group("key").strip(), no)
+        key = _parse_key(match.group("key").strip(), no)
         value = match.group("value")
         if value is None or value == "":
             nxt = self.peek()
@@ -223,7 +236,7 @@ class _Parser:
             match = _KEY_RE.match(line.content)
             if match is None:
                 raise YAMLError(f"expected 'key: value', got {line.content!r}", line.no)
-            key = _parse_scalar(match.group("key").strip(), line.no)
+            key = _parse_key(match.group("key").strip(), line.no)
             if key in result:
                 raise YAMLError(f"duplicate key {key!r}", line.no)
             value = match.group("value")

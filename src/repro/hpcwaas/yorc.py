@@ -32,6 +32,8 @@ from repro.cluster.cluster import Cluster
 from repro.hpcwaas.container import ContainerImageCreationService
 from repro.hpcwaas.dls import DataLogisticsService, DLSError
 from repro.hpcwaas.tosca import NodeTemplate, Topology, TOSCAError
+from repro.observability.metrics import get_registry
+from repro.observability.spans import maybe_span, span
 
 
 class DeploymentState(enum.Enum):
@@ -87,14 +89,27 @@ class YorcOrchestrator:
         with self._lock:
             self._deployments[deployment.deployment_id] = deployment
         deployment.state = DeploymentState.DEPLOYING
+        outcome = "deployed"
         try:
-            for template in topology.deployment_order():
-                record = self._provision(template, deployment)
-                deployment.provisioned[template.name] = record
+            with span(f"deploy:{topology.name}", layer="hpcwaas",
+                      attrs={"topology": topology.name,
+                             "cluster": cluster.name}):
+                for template in topology.deployment_order():
+                    with maybe_span(f"provision:{template.name}",
+                                    layer="hpcwaas",
+                                    attrs={"type": template.type}):
+                        record = self._provision(template, deployment)
+                    deployment.provisioned[template.name] = record
         except (TOSCAError, DLSError, ValueError, OSError) as exc:
             deployment.state = DeploymentState.FAILED
             deployment.error = str(exc)
+            outcome = "failed"
             raise
+        finally:
+            get_registry().counter(
+                "hpcwaas_deployments_total", "Deployments by outcome",
+                labels=("outcome",),
+            ).inc(outcome=outcome)
         deployment.state = DeploymentState.DEPLOYED
         self._write_manifest(deployment)
         return deployment

@@ -1,0 +1,74 @@
+"""Unified telemetry: metrics registry, workflow-wide spans, exporters.
+
+This package is the measurement substrate of the whole stack.  All
+layers — the COMPSs runtime and scheduler, the LSF batch system, the
+shared filesystem, the Ophidia server and the HPCWaaS lifecycle —
+report into one process-wide :class:`MetricsRegistry` and record
+:class:`Span` trees into one :class:`TraceCollector`, so a single
+workflow run yields:
+
+* a Prometheus-text / JSON metrics snapshot (``repro metrics``), and
+* one correlated Chrome/Perfetto trace spanning every layer
+  (``repro run --trace-out trace.json``).
+
+See ``docs/OBSERVABILITY.md`` for the metric names, the span taxonomy
+and how the benchmarks consume them.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    set_registry,
+    snapshot_value,
+)
+from repro.observability.spans import (
+    Span,
+    SpanContext,
+    SpanHandle,
+    TraceCollector,
+    activate,
+    current_context,
+    get_collector,
+    maybe_span,
+    new_context,
+    record_span,
+    set_collector,
+    span,
+)
+from repro.observability.export import (
+    build_perfetto_trace,
+    render_run_report,
+    snapshot_from_json,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "snapshot_value",
+    "Span",
+    "SpanContext",
+    "SpanHandle",
+    "TraceCollector",
+    "activate",
+    "current_context",
+    "get_collector",
+    "set_collector",
+    "maybe_span",
+    "new_context",
+    "record_span",
+    "span",
+    "build_perfetto_trace",
+    "render_run_report",
+    "snapshot_from_json",
+]

@@ -1,0 +1,485 @@
+"""A thread-safe metrics registry: counters, gauges, histograms.
+
+Every layer of the stack (COMPSs runtime, LSF scheduler, shared
+filesystem, Ophidia server, HPCWaaS) reports into one shared
+:class:`MetricsRegistry` instead of keeping private tallies, so a single
+snapshot describes a whole workflow run.  The model follows Prometheus:
+metrics are named families with a fixed label set; each distinct label
+combination is an independent series.
+
+Snapshots are first-class (:meth:`MetricsRegistry.snapshot`): benchmarks
+bracket a run with two snapshots and report the delta, which isolates a
+run's traffic from everything else the process has done.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "snapshot_value",
+]
+
+#: Default histogram buckets (seconds): tuned for task/IO durations that
+#: range from sub-millisecond NumPy kernels to minute-scale simulations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+_LabelKey = Tuple[str, ...]
+
+
+def _label_key(label_names: Sequence[str], labels: Mapping[str, Any]) -> _LabelKey:
+    if set(labels) != set(label_names):
+        raise ValueError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+def _format_labels(label_names: Sequence[str], key: _LabelKey) -> str:
+    if not label_names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(label_names, key)
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Metric:
+    """Common machinery: name, help text, label schema, series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self._lock = threading.Lock()
+        self._series: Dict[_LabelKey, Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> _LabelKey:
+        return _label_key(self.label_names, labels)
+
+    def series(self) -> Dict[_LabelKey, Any]:
+        """Copy of the raw series map (label tuple -> value)."""
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, bytes, operations)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Sum of all series matching the (possibly partial) label set."""
+        return _match_sum(self.label_names, self.series(), labels)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depth, utilisation)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return _match_sum(self.label_names, self.series(), labels)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "sum")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def as_dict(self, bounds: Sequence[float]) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                ("+Inf" if i == len(bounds) else repr(bounds[i])): c
+                for i, c in enumerate(self.bucket_counts)
+            },
+        }
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with quantile estimation.
+
+    Buckets are upper bounds (exclusive of +Inf, which is implicit); the
+    stored counts are per-bucket (non-cumulative) and cumulated on
+    export, matching the Prometheus text format.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.bucket_counts[idx] += 1
+            series.count += 1
+            series.sum += value
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Estimate the q-quantile (q in [0, 1]) by linear interpolation
+        inside the bucket that holds it.  Partial labels aggregate the
+        matching series first.  Returns ``nan`` with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        merged = [0] * (len(self.buckets) + 1)
+        total = 0
+        for key, series in self.series().items():
+            if not _labels_match(self.label_names, key, labels):
+                continue
+            for i, c in enumerate(series.bucket_counts):
+                merged[i] += c
+            total += series.count
+        if total == 0:
+            return float("nan")
+        target = q * total
+        cumulative = 0
+        for i, c in enumerate(merged):
+            prev = cumulative
+            cumulative += c
+            if cumulative >= target and c > 0:
+                lo = 0.0 if i == 0 else self.buckets[i - 1]
+                hi = self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+                frac = (target - prev) / c
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+        return self.buckets[-1]
+
+    def stats(self, **labels: Any) -> Dict[str, float]:
+        """Aggregated ``count``/``sum``/``mean`` over matching series."""
+        count = 0
+        total = 0.0
+        for key, series in self.series().items():
+            if _labels_match(self.label_names, key, labels):
+                count += series.count
+                total += series.sum
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else float("nan"),
+        }
+
+
+def _labels_match(
+    label_names: Sequence[str], key: _LabelKey, wanted: Mapping[str, Any]
+) -> bool:
+    for name, value in wanted.items():
+        if name not in label_names:
+            return False
+        if key[list(label_names).index(name)] != str(value):
+            return False
+    return True
+
+
+def _match_sum(
+    label_names: Sequence[str], series: Mapping[_LabelKey, float],
+    wanted: Mapping[str, Any],
+) -> float:
+    return sum(
+        v for k, v in series.items() if _labels_match(label_names, k, wanted)
+    )
+
+
+class MetricsRegistry:
+    """Thread-safe collection of named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: repeated calls
+    with the same name return the same object, and a name registered as
+    one kind cannot be re-registered as another (or with a different
+    label schema).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                if tuple(labels) != existing.label_names:
+                    raise ValueError(
+                        f"metric {name!r} registered with labels "
+                        f"{existing.label_names}, requested {tuple(labels)}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # -- access -------------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        metric = self.get(name)
+        if metric is None:
+            return 0.0
+        return _match_sum(metric.label_names, metric.series(), labels)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Point-in-time copy of every series, as plain data."""
+        data: Dict[str, Dict[str, Any]] = {}
+        for metric in self.metrics():
+            series_out = []
+            for key, value in sorted(metric.series().items()):
+                labels = dict(zip(metric.label_names, key))
+                if isinstance(metric, Histogram):
+                    series_out.append(
+                        {"labels": labels, **value.as_dict(metric.buckets)}
+                    )
+                else:
+                    series_out.append({"labels": labels, "value": value})
+            data[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "series": series_out,
+            }
+        return MetricsSnapshot(data)
+
+    def to_prometheus(self) -> str:
+        return self.snapshot().to_prometheus()
+
+    def to_json(self) -> Dict[str, Any]:
+        return self.snapshot().to_json()
+
+
+class MetricsSnapshot:
+    """An immutable registry snapshot: renderable, diffable, JSON-able."""
+
+    def __init__(self, data: Dict[str, Dict[str, Any]]) -> None:
+        self._data = data
+
+    # -- queries ------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return json.loads(json.dumps(self._data))  # deep copy, JSON-clean
+
+    def names(self) -> List[str]:
+        return sorted(self._data)
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Sum of matching counter/gauge series (0 when absent)."""
+        return snapshot_value(self._data, name, **labels)
+
+    def __bool__(self) -> bool:
+        return any(family["series"] for family in self._data.values())
+
+    # -- delta --------------------------------------------------------------
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Traffic accumulated since *earlier*.
+
+        Counters and histograms subtract; gauges keep this snapshot's
+        value (a gauge is a level, not a flow).  Series absent from
+        *earlier* pass through whole.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, family in self._data.items():
+            prev_family = earlier._data.get(name)
+            prev_series = {}
+            if prev_family is not None:
+                prev_series = {
+                    _series_key(s["labels"]): s for s in prev_family["series"]
+                }
+            new_series = []
+            for entry in family["series"]:
+                prev = prev_series.get(_series_key(entry["labels"]))
+                new_series.append(_series_delta(family["kind"], entry, prev))
+            out[name] = {**family, "series": [s for s in new_series if s is not None]}
+        return MetricsSnapshot(out)
+
+    # -- rendering ----------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (v0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._data):
+            family = self._data[name]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            label_names = family["labels"]
+            for entry in family["series"]:
+                key = tuple(str(entry["labels"][n]) for n in label_names)
+                label_txt = _format_labels(label_names, key)
+                if family["kind"] == "histogram":
+                    cumulative = 0
+                    for bound, count in entry["buckets"].items():
+                        cumulative += count
+                        le = _merge_label(label_names, key, "le", bound)
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(f"{name}_sum{label_txt} {_fmt(entry['sum'])}")
+                    lines.append(f"{name}_count{label_txt} {entry['count']}")
+                else:
+                    lines.append(f"{name}{label_txt} {_fmt(entry['value'])}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_key(labels: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_delta(kind: str, entry: Dict[str, Any], prev: Optional[Dict[str, Any]]):
+    if prev is None or kind == "gauge":
+        return dict(entry)
+    if kind == "histogram":
+        buckets = {
+            bound: count - prev["buckets"].get(bound, 0)
+            for bound, count in entry["buckets"].items()
+        }
+        count = entry["count"] - prev["count"]
+        if count == 0:
+            return None
+        return {
+            "labels": dict(entry["labels"]),
+            "count": count,
+            "sum": entry["sum"] - prev["sum"],
+            "buckets": buckets,
+        }
+    value = entry["value"] - prev["value"]
+    if value == 0:
+        return None
+    return {"labels": dict(entry["labels"]), "value": value}
+
+
+def _merge_label(label_names, key, extra_name, extra_value) -> str:
+    names = list(label_names) + [extra_name]
+    values = tuple(key) + (str(extra_value),)
+    return _format_labels(names, values)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def snapshot_value(snapshot_json: Mapping[str, Any], name: str, **labels: Any) -> float:
+    """Sum matching series of a JSON-ified snapshot (benchmark helper).
+
+    For counters and gauges, sums ``value``; for histograms, sums
+    ``sum`` (total observed time), since that is the headline quantity
+    benchmarks report.
+    """
+    family = snapshot_json.get(name)
+    if family is None:
+        return 0.0
+    total = 0.0
+    for entry in family["series"]:
+        entry_labels = entry["labels"]
+        if all(str(entry_labels.get(k)) == str(v) for k, v in labels.items()):
+            total += entry.get("value", entry.get("sum", 0.0))
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default registry
+# ---------------------------------------------------------------------------
+
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry all instrumented layers report into."""
+    return _default_registry
+
+
+def set_registry(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the new one.
+
+    Passing ``None`` installs a fresh empty registry.
+    """
+    global _default_registry
+    with _registry_lock:
+        _default_registry = registry if registry is not None else MetricsRegistry()
+        return _default_registry

@@ -171,9 +171,12 @@ class Cube:
         if not src_paths:
             raise ValueError("importnc2 needs at least one source path")
 
-        variables = server.map_fragments(
-            lambda path: server.read_nc_variable(path, measure), list(src_paths)
-        )
+        with server.operation("oph_importnc2", measure=measure,
+                              files=len(src_paths)):
+            variables = server.map_fragments(
+                lambda path: server.read_nc_variable(path, measure),
+                list(src_paths),
+            )
         first = variables[0]
         if len(variables) == 1:
             data = first.data
@@ -263,7 +266,8 @@ class Cube:
             data = self._server.pool.load(ref.fragment_id)
             return evaluate_primitive(query, data)
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_apply", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(self.dims, arrays, bounds, description)
 
@@ -283,7 +287,8 @@ class Cube:
                 raise ValueError("transform callable must preserve fragment shape")
             return out
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_transform", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(self.dims, arrays, bounds, description)
 
@@ -305,7 +310,9 @@ class Cube:
 
         if dim == self.fragment_dim:
             # Reducing along the fragmentation axis requires a gather.
-            full = self.to_array()
+            with self._server.operation("oph_reduce", cube_id=self.cube_id,
+                                        gather=True):
+                full = self.to_array()
             out = reducer(full, axis=axis) if full.size else np.zeros(
                 tuple(d.size for d in new_dims)
             )
@@ -325,7 +332,8 @@ class Cube:
             data = self._server.pool.load(ref.fragment_id)
             return np.asarray(reducer(data, axis=axis))
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_reduce", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(new_dims, arrays, bounds, description)
 
@@ -348,7 +356,8 @@ class Cube:
             data = self._server.pool.load(ref.fragment_id)
             return np.percentile(data, q, axis=axis)
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_percentile", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(new_dims, arrays, bounds, description)
 
@@ -388,7 +397,8 @@ class Cube:
             shape[axis:axis + 1] = [n_groups, group_size]
             return np.asarray(reducer(data.reshape(shape), axis=axis + 1))
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_reduce2", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         new_dims = [
             d if d.name != dim else d.with_size(n_groups) for d in self.dims
         ]
@@ -439,7 +449,8 @@ class Cube:
             (ref, other._fragments[i] if aligned else None)
             for i, ref in enumerate(self._fragments)
         ]
-        arrays = self._server.map_fragments(work, pairs)
+        with self._server.operation("oph_intercube", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, pairs)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(self.dims, arrays, bounds, description)
 
@@ -474,7 +485,8 @@ class Cube:
             indexer[axis] = slice(start, stop)
             return np.ascontiguousarray(data[tuple(indexer)])
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_subset", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         new_dims = [
             d if d.name != dim else d.with_size(stop - start) for d in self.dims
         ]
@@ -501,7 +513,8 @@ class Cube:
             data = self._server.pool.load(ref.fragment_id)
             return _run_lengths(data > 0, axis)
 
-        arrays = self._server.map_fragments(work, self._fragments)
+        with self._server.operation("oph_runlength", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, self._fragments)
         bounds = [(r.start, r.stop) for r in self._fragments]
         return self._derive(self.dims, arrays, bounds, description)
 
@@ -554,7 +567,8 @@ class Cube:
             (ref, other._fragments[i] if aligned else None)
             for i, ref in enumerate(self._fragments)
         ]
-        arrays = self._server.map_fragments(work, pairs)
+        with self._server.operation("oph_concatnc", cube_id=self.cube_id):
+            arrays = self._server.map_fragments(work, pairs)
         new_size = self.dims[axis].size + other.dims[axis].size
         new_dims = [
             d if d.name != dim else d.with_size(new_size) for d in self.dims
@@ -566,7 +580,8 @@ class Cube:
         """Collapse to a single fragment (Ophidia's OPH_MERGE)."""
         self._check_alive()
         self._server.log_operator("oph_merge", cube_id=self.cube_id)
-        full = self.to_array()
+        with self._server.operation("oph_merge", cube_id=self.cube_id):
+            full = self.to_array()
         cube = Cube.from_array(
             full, list(self.dim_names), client=_ServerClient(self._server),
             fragment_dim=self.fragment_dim, nfrag=1, measure=self.measure,
@@ -593,7 +608,8 @@ class Cube:
     def exportnc2(self, output_path: str, output_name: str) -> str:
         """Write the cube as an RNC dataset; returns the file's path."""
         self._check_alive()
-        data = self.to_array()
+        with self._server.operation("oph_exportnc2", cube_id=self.cube_id):
+            data = self.to_array()
         ds = Dataset(
             {
                 "measure": self.measure,

@@ -15,13 +15,17 @@ counters (this is how experiment C2 measures read savings).
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.filesystem import SharedFilesystem
 from repro.netcdf import Dataset, Variable, read_variable, write_dataset
+from repro.observability.metrics import get_registry
+from repro.observability.spans import activate, current_context, maybe_span
 from repro.ophidia.storage import StoragePool, StorageStats
 
 
@@ -63,6 +67,32 @@ class OphidiaServer:
     def log_operator(self, operator: str, **params: Any) -> None:
         with self._log_lock:
             self._log.append({"operator": operator, **params})
+        get_registry().counter(
+            "ophidia_operators_total", "Ophidia operator invocations",
+            labels=("operator",),
+        ).inc(operator=operator)
+
+    @contextmanager
+    def operation(self, operator: str, **attrs: Any) -> Iterator[None]:
+        """Span + duration accounting around one operator execution.
+
+        Wraps the fragment-parallel phase of an operator: the span (when
+        a trace is active) nests the filesystem/storage work done inside,
+        and the duration lands in
+        ``ophidia_operator_duration_seconds{operator=...}``.  Provenance
+        logging stays with :meth:`log_operator`.
+        """
+        start = time.monotonic()
+        with maybe_span(f"ophidia:{operator}", layer="ophidia",
+                        attrs={"operator": operator, **attrs}):
+            try:
+                yield
+            finally:
+                get_registry().histogram(
+                    "ophidia_operator_duration_seconds",
+                    "Operator wall time by operator",
+                    labels=("operator",),
+                ).observe(time.monotonic() - start, operator=operator)
 
     @property
     def operator_log(self) -> List[Dict[str, Any]]:
@@ -76,8 +106,17 @@ class OphidiaServer:
 
         The first raised exception propagates after all submissions are
         resolved, so fragments never leak on partial failure paths.
+
+        The submitter's span context is re-entered on the executor
+        threads, so per-fragment I/O spans join the caller's trace.
         """
-        futures = [self._executor.submit(fn, item) for item in items]
+        ctx = current_context()
+
+        def run(item: Any) -> Any:
+            with activate(ctx):
+                return fn(item)
+
+        futures = [self._executor.submit(run, item) for item in items]
         results: List[Any] = []
         first_error: Optional[BaseException] = None
         for future in futures:

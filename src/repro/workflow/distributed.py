@@ -24,6 +24,13 @@ from typing import Any, Dict
 from repro.compss import COMPSs, compss_wait_on, task
 from repro.compss.scheduler import policy_by_name
 from repro.hpcwaas.federation import Federation
+from repro.observability import (
+    MetricsSnapshot,
+    build_perfetto_trace,
+    get_collector,
+    get_registry,
+    span,
+)
 from repro.ophidia import Client, OphidiaServer
 from repro.workflow import tasks
 from repro.workflow.config import WorkflowParams
@@ -84,10 +91,17 @@ def run_distributed_extreme_events(
     }
     cube_futures = []
 
+    registry = get_registry()
+    snap_before = registry.snapshot()
     try:
-        with COMPSs(
+        with span(
+            "workflow.run-distributed", layer="workflow",
+            attrs={"years": len(p.years), "n_days": p.n_days,
+                   "sites": len(federation.sites)},
+        ) as root, COMPSs(
             n_workers=p.n_workers, scheduler=policy_by_name(p.scheduler)
         ) as runtime:
+            summary["trace_id"] = root.context.trace_id
             truth_f = tasks.esm_simulation(
                 sim.filesystem, list(p.years), p.n_days, p.n_lat, p.n_lon,
                 p.scenario, p.seed, p.output_dir, p.pace_seconds,
@@ -194,6 +208,24 @@ def run_distributed_extreme_events(
         collector.close()
         server.shutdown()
 
+    # Root span closed with the ``with`` block above: export the run's
+    # telemetry to the analytics site, next to the science results.
+    summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
+    ana.filesystem.write_bytes(
+        f"{p.results_dir}/trace.json",
+        build_perfetto_trace(
+            get_collector().for_trace(summary["trace_id"]),
+            runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
+        ).encode(),
+    )
+    ana.filesystem.write_bytes(
+        f"{p.results_dir}/metrics.json",
+        json.dumps(summary["metrics"], indent=1).encode(),
+    )
+    ana.filesystem.write_bytes(
+        f"{p.results_dir}/metrics.prom",
+        MetricsSnapshot(summary["metrics"]).to_prometheus().encode(),
+    )
     ana.filesystem.write_bytes(
         f"{p.results_dir}/run_summary.json",
         json.dumps(summary, indent=1, default=str).encode(),

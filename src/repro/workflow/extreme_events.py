@@ -23,6 +23,13 @@ from repro.compss import COMPSs, CheckpointManager, compss_wait_on
 from repro.compss.scheduler import policy_by_name
 from repro.compss.streams import FileDistroStream, StreamClosed
 from repro.esm import parse_daily_filename
+from repro.observability import (
+    MetricsSnapshot,
+    build_perfetto_trace,
+    get_collector,
+    get_registry,
+    span,
+)
 from repro.ophidia import Client, OphidiaServer
 from repro.workflow import tasks
 from repro.workflow.config import WorkflowParams
@@ -105,6 +112,62 @@ def run_extreme_events_workflow(
     fs = cluster.filesystem
     fs.makedirs(p.results_dir)
 
+    registry = get_registry()
+    snap_before = registry.snapshot()
+    # The root span: every instrumented layer below (COMPSs tasks,
+    # scheduler queueing, filesystem I/O, Ophidia operators) parents
+    # into this trace.  When invoked through HPCWaaS the span joins the
+    # API's trace instead of starting its own.
+    with span(
+        "workflow.run", layer="workflow",
+        attrs={"years": len(p.years), "n_days": p.n_days,
+               "n_workers": p.n_workers, "scheduler": p.scheduler},
+    ) as root:
+        trace_id = root.context.trace_id
+        summary, runtime = _run_traced(cluster, p, fs, pace_seconds)
+
+    # The root span is recorded only when its block exits, so the trace
+    # and metrics artefacts are exported afterwards.
+    summary["trace_id"] = trace_id
+    schedule = summary.get("schedule", {})
+    registry.gauge(
+        "workflow_makespan_seconds", "Makespan of the last workflow run"
+    ).set(schedule.get("makespan_s", 0.0))
+    registry.gauge(
+        "workflow_esm_analytics_overlap_seconds",
+        "ESM/analytics overlap of the last run (claim C1)",
+    ).set(schedule.get("esm_analytics_overlap_s", 0.0))
+    registry.gauge(
+        "workflow_worker_utilisation", "Worker utilisation of the last run"
+    ).set(schedule.get("worker_utilisation", 0.0))
+    summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
+
+    fs.write_bytes(
+        f"{p.results_dir}/trace.json",
+        build_perfetto_trace(
+            get_collector().for_trace(trace_id),
+            runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
+        ).encode(),
+    )
+    fs.write_bytes(
+        f"{p.results_dir}/metrics.json",
+        json.dumps(summary["metrics"], indent=1).encode(),
+    )
+    fs.write_bytes(
+        f"{p.results_dir}/metrics.prom",
+        MetricsSnapshot(summary["metrics"]).to_prometheus().encode(),
+    )
+    fs.write_bytes(
+        f"{p.results_dir}/run_summary.json",
+        json.dumps(summary, indent=1, default=str).encode(),
+    )
+    return summary
+
+
+def _run_traced(
+    cluster: Cluster, p: WorkflowParams, fs, pace_seconds: float
+) -> "tuple[Dict[str, Any], Any]":
+    """The traced workflow body; returns (summary, runtime)."""
     tc_model_path = None
     if p.with_ml:
         tc_model_path = tasks.ensure_tc_model(
@@ -252,10 +315,6 @@ def run_extreme_events_workflow(
                 f"{p.results_dir}/task_graph.dot",
                 runtime.graph.to_dot("extreme_events").encode(),
             )
-            fs.write_bytes(
-                f"{p.results_dir}/trace.json",
-                runtime.tracer.to_chrome_trace().encode(),
-            )
             summary["schedule"] = {
                 "makespan_s": runtime.tracer.makespan(),
                 "esm_analytics_overlap_s": runtime.tracer.overlap_group_seconds(
@@ -281,8 +340,4 @@ def run_extreme_events_workflow(
         collector.close()
         server.shutdown()
 
-    fs.write_bytes(
-        f"{p.results_dir}/run_summary.json",
-        json.dumps(summary, indent=1, default=str).encode(),
-    )
-    return summary
+    return summary, runtime

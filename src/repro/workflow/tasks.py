@@ -30,6 +30,7 @@ from repro.cluster.filesystem import SharedFilesystem
 from repro.compss import FILE_IN, task
 from repro.esm import CMCCCM3, ModelConfig, daily_filename, parse_daily_filename
 from repro.ml.tc_localizer import CHANNELS, TCLocalizer, localize_in_snapshot
+from repro.observability import get_registry, maybe_span
 from repro.ophidia import Client, Cube
 
 
@@ -63,17 +64,24 @@ def esm_simulation(
     model = CMCCCM3(ModelConfig(
         n_lat=n_lat, n_lon=n_lon, scenario=scenario, seed=seed,
     ))
+    days_written = get_registry().counter(
+        "esm_days_written_total", "Simulated days written by the ESM",
+        labels=("year",),
+    )
     truth: Dict[int, dict] = {}
     for year in years:
         def pace(doy: int, path: str) -> None:
+            days_written.inc(year=year)
             if pace_seconds:
                 time.sleep(pace_seconds)
 
-        truth[year] = model.run_year(
-            year, fs, output_dir=output_dir, n_days=n_days,
-            on_day_written=pace, restart_every=restart_every,
-            resume=restart_every > 0,
-        )
+        with maybe_span(f"esm.year:{year}", layer="esm",
+                        attrs={"year": year, "n_days": n_days}):
+            truth[year] = model.run_year(
+                year, fs, output_dir=output_dir, n_days=n_days,
+                on_day_written=pace, restart_every=restart_every,
+                resume=restart_every > 0,
+            )
     return truth
 
 
@@ -264,12 +272,18 @@ def tc_inference(
     model = TCLocalizer.load(model_path)
     data = prepared["data"]
     found: List[dict] = []
-    for step in range(data.shape[0]):
-        fields = {name: data[step, c] for c, name in enumerate(CHANNELS)}
-        for lat, lon, prob in localize_in_snapshot(
-            model, fields, prepared["lat"], prepared["lon"], threshold=threshold
-        ):
-            found.append({"step": step, "lat": lat, "lon": lon, "prob": prob})
+    with maybe_span("ml.tc_inference", layer="ml",
+                    attrs={"steps": int(data.shape[0])}) as h:
+        for step in range(data.shape[0]):
+            fields = {name: data[step, c] for c, name in enumerate(CHANNELS)}
+            for lat, lon, prob in localize_in_snapshot(
+                model, fields, prepared["lat"], prepared["lon"],
+                threshold=threshold
+            ):
+                found.append(
+                    {"step": step, "lat": lat, "lon": lon, "prob": prob}
+                )
+        h.set_attr("n_detections", len(found))
     return found
 
 
@@ -382,11 +396,13 @@ def ensure_tc_model(path: Optional[str], patch: int, tmp_dir: str) -> str:
         return path
     target = path or os.path.join(tmp_dir, "tc_localizer.pkl")
     os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
-    model = TCLocalizer(patch=patch, seed=0)
-    data = make_patch_dataset(n_samples=700, patch=patch, seed=1)
-    model.fit(data, epochs=6, batch_size=64, lr=2e-3, seed=2)
-    model.fit(data, epochs=4, batch_size=64, lr=1e-3, seed=3)
-    model.save(target)
+    with maybe_span("ml.train_tc_localizer", layer="ml",
+                    attrs={"patch": patch}):
+        model = TCLocalizer(patch=patch, seed=0)
+        data = make_patch_dataset(n_samples=700, patch=patch, seed=1)
+        model.fit(data, epochs=6, batch_size=64, lr=2e-3, seed=2)
+        model.fit(data, epochs=4, batch_size=64, lr=1e-3, seed=3)
+        model.save(target)
     return target
 
 

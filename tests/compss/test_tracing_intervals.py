@@ -1,0 +1,121 @@
+"""Tracer interval arithmetic and Gantt edge cases."""
+
+import pytest
+
+from repro.compss.tracing import (
+    TaskEvent,
+    Tracer,
+    _interval_overlap,
+    _merge_intervals,
+)
+
+
+def _event(func, start, end, task_id=1, worker=0):
+    return TaskEvent(task_id, func, worker, start, end, "COMPLETED")
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert _merge_intervals([(3, 4), (0, 1)]) == [(0, 1), (3, 4)]
+
+    def test_overlapping_merge(self):
+        assert _merge_intervals([(0, 2), (1, 5), (4, 6)]) == [(0, 6)]
+
+    def test_touching_intervals_merge(self):
+        # start == previous end counts as contiguous, not a gap.
+        assert _merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_contained_interval_absorbed(self):
+        assert _merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_single_point_intervals(self):
+        assert _merge_intervals([(1, 1), (1, 1), (2, 2)]) == [(1, 1), (2, 2)]
+
+
+class TestIntervalOverlap:
+    def test_no_overlap(self):
+        assert _interval_overlap([(0, 1)], [(2, 3)]) == 0.0
+
+    def test_touching_is_zero(self):
+        assert _interval_overlap([(0, 1)], [(1, 2)]) == 0.0
+
+    def test_partial_and_multiple(self):
+        a = [(0, 5), (10, 15)]
+        b = [(3, 12)]
+        assert _interval_overlap(a, b) == pytest.approx(2 + 2)
+
+    def test_either_side_empty(self):
+        assert _interval_overlap([], [(0, 1)]) == 0.0
+        assert _interval_overlap([(0, 1)], []) == 0.0
+
+
+class TestOverlapGroupSeconds:
+    def _tracer(self, events):
+        tracer = Tracer()
+        for e in events:
+            tracer.record(e)
+        return tracer
+
+    def test_group_union_counts_each_second_once(self):
+        # Two analytics tasks cover the same wall-clock window: the
+        # overlap with the producer must not double-count it.
+        tracer = self._tracer([
+            _event("esm", 0.0, 10.0, task_id=1),
+            _event("ana", 2.0, 6.0, task_id=2, worker=1),
+            _event("ana", 3.0, 7.0, task_id=3, worker=2),
+        ])
+        assert tracer.overlap_group_seconds("esm", {"ana"}) == pytest.approx(5.0)
+
+    def test_empty_group_is_zero(self):
+        tracer = self._tracer([_event("esm", 0.0, 10.0)])
+        assert tracer.overlap_group_seconds("esm", set()) == 0.0
+
+    def test_missing_producer_is_zero(self):
+        tracer = self._tracer([_event("ana", 0.0, 1.0)])
+        assert tracer.overlap_group_seconds("esm", {"ana"}) == 0.0
+
+    def test_group_accepts_list(self):
+        tracer = self._tracer([
+            _event("esm", 0.0, 4.0, task_id=1),
+            _event("a", 1.0, 2.0, task_id=2, worker=1),
+            _event("b", 3.0, 5.0, task_id=3, worker=2),
+        ])
+        assert tracer.overlap_group_seconds("esm", ["a", "b"]) == pytest.approx(2.0)
+
+
+class TestGanttClamp:
+    def _tracer(self):
+        tracer = Tracer()
+        tracer.record(_event("alpha", 0.0, 0.5, task_id=1, worker=0))
+        tracer.record(_event("beta", 0.4, 1.0, task_id=2, worker=1))
+        return tracer
+
+    @pytest.mark.parametrize("width", [0, 1, 7, -5])
+    def test_narrow_width_clamps_to_minimum(self, width):
+        # Regression: width < 8 used to paint zero-width/out-of-bounds
+        # bars; it now renders as an 8-column chart.
+        lines = self._tracer().gantt(width=width).splitlines()
+        bars = [line for line in lines if line.startswith("w")]
+        assert len(bars) == 2
+        for line in bars:
+            assert len(line.split("|")[1]) == 8
+        assert any("a" in line for line in bars)
+        assert any("b" in line for line in bars)
+
+    def test_wide_chart_unchanged(self):
+        lines = self._tracer().gantt(width=40).splitlines()
+        bars = [line for line in lines if line.startswith("w")]
+        assert all(len(line.split("|")[1]) == 40 for line in bars)
+
+    def test_no_events(self):
+        assert Tracer().gantt(width=3) == "(no events)"
+
+    def test_zero_duration_event_paints_one_cell(self):
+        tracer = Tracer()
+        tracer.record(_event("x", 1.0, 1.0))
+        bars = [line for line in tracer.gantt(width=10).splitlines()
+                if line.startswith("w")]
+        assert bars[0].count("x") == 1
