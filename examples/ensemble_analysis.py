@@ -66,8 +66,11 @@ def main() -> None:
     print(f"\nforced (injected) heat waves in window: {len(inside)} — "
           "identical across members by construction")
     print(f"ensemble mean wave-cells: {stats['mean'].sum():.1f}")
-    print(f"mean spread where waves occur: "
-          f"{stats['spread'][stats['mean'] > 0].mean():.2f}")
+    # Short windows can have no wave cells at all; .mean() of the empty
+    # selection would emit NaN plus a RuntimeWarning.
+    wave_spread = stats["spread"][stats["mean"] > 0]
+    spread_text = f"{wave_spread.mean():.2f}" if wave_spread.size else "n/a (no waves)"
+    print(f"mean spread where waves occur: {spread_text}")
 
     print()
     print(render_ascii_map(

@@ -11,6 +11,9 @@ Commands
     directory.
 ``indices``
     Compute heat-wave index maps from a directory of daily files.
+``chaos``
+    Run the workflow under a seeded fault schedule (node crash, flaky
+    I/O, task failures) and verify recovery reproduces a fault-free run.
 ``info``
     Print the component inventory and version.
 """
@@ -197,6 +200,65 @@ def _cmd_indices(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.cluster import laptop_like
+    from repro.faults import FaultPlan, NodeCrash, run_chaos_experiment
+    from repro.workflow import WorkflowParams
+
+    crashes = []
+    for node in args.kill_node or ():
+        if args.at_seconds is not None:
+            crashes.append(NodeCrash(node, at_seconds=args.at_seconds))
+        else:
+            crashes.append(NodeCrash(node, after_fs_writes=args.after_writes))
+    plan = FaultPlan(
+        seed=args.seed,
+        fs_error_rate=args.fs_error_rate,
+        task_error_rate=args.task_error_rate,
+        transfer_error_rate=args.transfer_error_rate,
+        node_crashes=tuple(crashes),
+    )
+    params = WorkflowParams(
+        years=args.years, n_days=args.days, n_workers=args.workers,
+        seed=args.seed, with_ml=args.with_ml,
+        min_length_days=min(6, args.days),
+    )
+    # The reference and chaos runs each get their own cluster; when the
+    # user pins a scratch directory, keep the two roots apart.
+    import itertools
+    import os
+
+    cluster_ids = itertools.count(1)
+
+    def make_cluster():
+        root = None
+        if args.scratch:
+            root = os.path.join(args.scratch, f"cluster{next(cluster_ids)}")
+        return laptop_like(scratch_root=root)
+
+    print(f"# {plan.describe()}", file=sys.stderr)
+    report = run_chaos_experiment(
+        plan, params,
+        make_cluster=make_cluster,
+        max_workflow_attempts=args.max_attempts,
+        log=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report, fh, indent=1, default=str)
+    print(json.dumps(report, indent=1, default=str))
+    verdict = "MATCH" if report["match"] else "MISMATCH"
+    counters = report["counters"]
+    print(
+        f"# {verdict}: attempts={report['workflow_attempts']} "
+        f"faults_injected={counters['faults_injected_total']:g} "
+        f"tasks_retried={counters['compss_tasks_retried_total']:g} "
+        f"jobs_requeued={counters['lsf_jobs_requeued_total']:g}",
+        file=sys.stderr,
+    )
+    return 0 if report["match"] else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analytics import generate_report
 
@@ -271,6 +333,39 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--selftest", action="store_true",
                          help="exercise registry, spans and exporters")
     metrics.set_defaults(fn=_cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the workflow under injected faults and verify recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seeds the fault decision stream (reproducible)")
+    chaos.add_argument("--kill-node", action="append", metavar="NAME",
+                       help="crash this node mid-run (repeatable; the "
+                            "default cluster has nodes local1, local2)")
+    chaos.add_argument("--after-writes", type=int, default=5,
+                       help="crash trigger: after N shared-FS writes")
+    chaos.add_argument("--at-seconds", type=float, default=None,
+                       help="crash trigger: wall-clock seconds after start "
+                            "(overrides --after-writes)")
+    chaos.add_argument("--fs-error-rate", type=float, default=0.0,
+                       help="probability an FS data op raises a transient "
+                            "I/O error")
+    chaos.add_argument("--task-error-rate", type=float, default=0.0,
+                       help="probability a task body raises on entry")
+    chaos.add_argument("--transfer-error-rate", type=float, default=0.0,
+                       help="probability a task with remote deps fails its "
+                            "transfer")
+    chaos.add_argument("--years", type=int, nargs="+", default=[2030])
+    chaos.add_argument("--days", type=int, default=12)
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--with-ml", action="store_true")
+    chaos.add_argument("--max-attempts", type=int, default=4,
+                       help="whole-workflow executions before giving up")
+    chaos.add_argument("--scratch", default=None)
+    chaos.add_argument("--report-out", default=None, metavar="PATH",
+                       help="also write the JSON report here")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

@@ -69,6 +69,17 @@ class SharedFilesystem:
         self._lock = threading.Lock()
         #: Label value distinguishing this instance's registry series.
         self.fs_label = f"{os.path.basename(self.root) or 'fs'}-{next(_fs_ids)}"
+        #: Optional chaos hook (``repro.faults``): an object whose
+        #: ``before_op(op, path, fs=...)`` is consulted ahead of every
+        #: data operation and may raise to simulate flaky storage.
+        self.fault_injector = None
+
+    # -- fault injection -----------------------------------------------------
+
+    def _maybe_fault(self, op: str, rel_path: str) -> None:
+        injector = self.fault_injector
+        if injector is not None:
+            injector.before_op(op, rel_path, fs=self.fs_label)
 
     # -- telemetry -----------------------------------------------------------
 
@@ -138,6 +149,7 @@ class SharedFilesystem:
     def write(self, rel_path: str, dataset: Dataset) -> int:
         """Write an RNC dataset; returns bytes written."""
         full = self._resolve(rel_path)
+        self._maybe_fault("write", rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
         with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
@@ -149,6 +161,7 @@ class SharedFilesystem:
     def read(self, rel_path: str, variables=None) -> Dataset:
         """Read an RNC dataset (optionally a variable subset)."""
         full = self._resolve(rel_path)
+        self._maybe_fault("read", rel_path)
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             ds = read_dataset(full, variables=variables)
@@ -159,6 +172,7 @@ class SharedFilesystem:
     def read_header(self, rel_path: str) -> dict:
         """Read only the metadata header; counts as a (cheap) read."""
         full = self._resolve(rel_path)
+        self._maybe_fault("read_header", rel_path)
         header = read_header(full)
         self._count("read_header")
         return header
@@ -167,6 +181,7 @@ class SharedFilesystem:
 
     def write_bytes(self, rel_path: str, payload: bytes) -> int:
         full = self._resolve(rel_path)
+        self._maybe_fault("write_bytes", rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
         with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path,
@@ -178,6 +193,7 @@ class SharedFilesystem:
 
     def read_bytes(self, rel_path: str) -> bytes:
         full = self._resolve(rel_path)
+        self._maybe_fault("read_bytes", rel_path)
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             with open(full, "rb") as fh:

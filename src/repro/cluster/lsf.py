@@ -92,6 +92,7 @@ class Job:
         kwargs: dict,
         request: ResourceRequest,
         queue: Optional[Queue] = None,
+        max_requeues: int = 3,
     ) -> None:
         self.job_id = job_id
         self.name = name
@@ -101,6 +102,13 @@ class Job:
         self.request = request
         self.queue = queue
         self.timed_out = False
+        #: Automatic resubmissions consumed after node failures
+        #: (LSF's ``brequeue`` / REQUEUE_EXIT_VALUES analogue).
+        self.requeues = 0
+        self.max_requeues = max_requeues
+        #: Set while the job runs when its node died; consumed by the
+        #: completion path, which resubmits instead of finishing.
+        self._requeue_pending = False
         self.state = JobState.PEND
         self.result: Any = None
         self.exception: Optional[BaseException] = None
@@ -194,12 +202,14 @@ class LSFScheduler:
         cores: int = 1,
         memory_gb: float = 0.0,
         queue: Optional[str] = None,
+        max_requeues: int = 3,
         **kwargs: Any,
     ) -> Job:
         """Submit *fn(\\*args, \\*\\*kwargs)* as a batch job; returns the Job.
 
         *queue* selects a configured queue (``bsub -q``); higher-priority
         queues dispatch first.  Default: the highest-priority queue.
+        *max_requeues* bounds automatic resubmission after node crashes.
         """
         if queue is None:
             job_queue = self._default_queue
@@ -212,15 +222,25 @@ class LSFScheduler:
         job = Job(
             next(self._job_ids), name, fn, args, kwargs,
             ResourceRequest(cores=cores, memory_gb=memory_gb),
-            queue=job_queue,
+            queue=job_queue, max_requeues=max_requeues,
         )
-        max_cores = max(n.cores for n in self.nodes)
-        max_mem = max(n.memory_gb for n in self.nodes)
-        if job.request.cores > max_cores or job.request.memory_gb > max_mem:
+        # Reject requests no single node can ever satisfy.  Checking the
+        # core and memory maxima independently is not enough: with nodes
+        # (8 cores, 4GB) and (2 cores, 64GB), a job asking 8 cores+64GB
+        # passes both per-dimension checks yet fits nowhere — it used to
+        # PEND forever and wedge wait_all()/shutdown(wait=True).
+        if not any(
+            n.cores >= job.request.cores and n.memory_gb >= job.request.memory_gb
+            for n in self.nodes
+        ):
+            largest = max(
+                self.nodes, key=lambda n: (n.cores, n.memory_gb)
+            )
             raise ValueError(
                 f"job {name!r} requests cores={job.request.cores} "
-                f"mem={job.request.memory_gb}GB, exceeding the largest node "
-                f"(cores={max_cores}, mem={max_mem}GB)"
+                f"mem={job.request.memory_gb}GB, which no configured node "
+                f"satisfies (largest: cores={largest.cores}, "
+                f"mem={largest.memory_gb}GB) — it would pend forever"
             )
         with self._wake:
             if self._shutdown:
@@ -253,6 +273,58 @@ class LSFScheduler:
                 self._pending.remove(job)
                 job.state = JobState.KILLED
                 job._done.set()
+                return True
+            return False
+
+    # -- node failures ------------------------------------------------------
+
+    def kill_node(self, name: str) -> List[Job]:
+        """Simulate *name* dying: stop placements, flag its jobs.
+
+        Running jobs on the dead node are flagged for requeue — their
+        threads cannot be killed, so (as with real LSF and a lost host)
+        the outcome of the in-flight execution is discarded and the job
+        is resubmitted once the body unwinds.  Returns the flagged jobs.
+        """
+        node = next((n for n in self.nodes if n.name == name), None)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        node.mark_down()
+        affected: List[Job] = []
+        with self._wake:
+            for job in self._jobs.values():
+                if job.state is JobState.RUN and job.node_name == name:
+                    job._requeue_pending = True
+                    affected.append(job)
+            self._wake.notify_all()
+        get_registry().counter(
+            "lsf_node_crashes_total", "Simulated node deaths",
+            labels=("node",),
+        ).inc(node=name)
+        return affected
+
+    def restore_node(self, name: str) -> None:
+        """Bring a crashed node back into service."""
+        node = next((n for n in self.nodes if n.name == name), None)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        node.mark_up()
+        with self._wake:
+            self._wake.notify_all()
+
+    def requeue_running(self, job_id: int) -> bool:
+        """Flag a RUN job for resubmission (``brequeue`` analogue).
+
+        Used when a job's resources were lost for reasons the scheduler
+        cannot see itself (e.g. the chaos plane killed a node hosting
+        part of a multi-node application).  Returns True if flagged.
+        """
+        with self._wake:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job id {job_id}")
+            if job.state is JobState.RUN:
+                job._requeue_pending = True
                 return True
             return False
 
@@ -339,21 +411,66 @@ class LSFScheduler:
             with activate(job._trace_ctx), maybe_span(
                 f"job:{job.name}#{job.job_id}", layer="cluster",
                 attrs={"job_id": job.job_id, "queue": queue_name,
-                       "node": alloc.node_name, "cores": job.request.cores},
+                       "node": alloc.node_name, "cores": job.request.cores,
+                       "attempt": job.requeues + 1},
             ) as handle:
+                result: Any = None
+                error: Optional[BaseException] = None
                 try:
-                    job.result = job.fn(*job.args, **job.kwargs)
-                    job.state = JobState.DONE
+                    result = job.fn(*job.args, **job.kwargs)
                 except BaseException as exc:  # noqa: BLE001 - report to waiter
-                    handle.set_status("ERROR")
-                    handle.set_attr("error", repr(exc))
-                    job.exception = exc
-                    job.state = JobState.EXIT
-                finally:
-                    job.end_time = time.monotonic()
-                    limit = job.queue.max_runtime_s if job.queue else None
-                    if limit is not None and job.runtime_seconds > limit:
-                        job.timed_out = True  # LSF TERM_RUNLIMIT analogue
+                    error = exc
+                end = time.monotonic()
+                with self._wake:
+                    requeue = (
+                        job._requeue_pending
+                        and job.requeues < job.max_requeues
+                        and not self._shutdown
+                    )
+                    job._requeue_pending = False
+                    if requeue:
+                        # The node died under the job: discard this
+                        # execution's outcome and resubmit from scratch.
+                        job.requeues += 1
+                        job.state = JobState.PEND
+                        job.node_name = None
+                        job.submit_time = end
+                        job.start_time = None
+                        job.end_time = None
+                        job.exception = None
+                        job.result = None
+                        self._pending.append(job)
+                    else:
+                        job.end_time = end
+                        if error is None:
+                            job.result = result
+                            job.state = JobState.DONE
+                        else:
+                            handle.set_status("ERROR")
+                            handle.set_attr("error", repr(error))
+                            job.exception = error
+                            job.state = JobState.EXIT
+                        limit = job.queue.max_runtime_s if job.queue else None
+                        if limit is not None and job.runtime_seconds > limit:
+                            job.timed_out = True  # LSF TERM_RUNLIMIT analogue
+                node.release(alloc)
+                if requeue:
+                    handle.set_status("REQUEUED")
+                    handle.set_attr("requeue", job.requeues)
+                    if error is not None:
+                        handle.set_attr("error", repr(error))
+                    registry.counter(
+                        "lsf_jobs_requeued_total",
+                        "Jobs resubmitted after their node died",
+                        labels=("queue",),
+                    ).inc(queue=queue_name)
+                    record_span(
+                        f"requeue:{job.name}#{job.job_id}", layer="cluster",
+                        start=end, end=end, parent=job._trace_ctx,
+                        attrs={"job_id": job.job_id, "requeue": job.requeues,
+                               "lost_node": alloc.node_name},
+                    )
+                else:
                     registry.counter(
                         "lsf_jobs_total", "Finished batch jobs by final state",
                         labels=("state",),
@@ -362,9 +479,8 @@ class LSFScheduler:
                         "lsf_job_runtime_seconds", "Job wall time by queue",
                         labels=("queue",),
                     ).observe(job.runtime_seconds, queue=queue_name)
-                    node.release(alloc)
                     job._done.set()
-                    with self._wake:
-                        self._wake.notify_all()
+                with self._wake:
+                    self._wake.notify_all()
 
         threading.Thread(target=body, name=f"lsf-job-{job.job_id}", daemon=True).start()

@@ -44,6 +44,27 @@ class Node:
         self._free_cores = self.cores
         self._free_memory = self.memory_gb
         self._live: dict[int, Allocation] = {}
+        self._up = True
+
+    @property
+    def is_up(self) -> bool:
+        with self._lock:
+            return self._up
+
+    def mark_down(self) -> None:
+        """Take the node out of service (simulated crash).
+
+        Existing allocations stay registered so the threads that hold
+        them can still :meth:`release` cleanly; the node just stops
+        granting new ones until :meth:`mark_up`.
+        """
+        with self._lock:
+            self._up = False
+
+    def mark_up(self) -> None:
+        """Return a crashed node to service (reboot/replacement)."""
+        with self._lock:
+            self._up = True
 
     @property
     def free_cores(self) -> int:
@@ -57,13 +78,19 @@ class Node:
 
     def can_fit(self, cores: int, memory_gb: float = 0.0) -> bool:
         with self._lock:
-            return self._free_cores >= cores and self._free_memory >= memory_gb
+            return (
+                self._up
+                and self._free_cores >= cores
+                and self._free_memory >= memory_gb
+            )
 
     def allocate(self, cores: int, memory_gb: float = 0.0) -> Optional[Allocation]:
         """Atomically reserve resources; returns ``None`` if they don't fit."""
         if cores < 0 or memory_gb < 0:
             raise ValueError("resource requests must be non-negative")
         with self._lock:
+            if not self._up:
+                return None
             if self._free_cores < cores or self._free_memory < memory_gb:
                 return None
             self._free_cores -= cores

@@ -50,9 +50,22 @@ class TaskFailedError(RuntimeError):
 
 
 class TaskCancelledError(RuntimeError):
-    """Synchronising on a datum whose producer was cancelled."""
+    """Synchronising on a datum whose producer was cancelled.
 
-    def __init__(self, task_id: int, func_name: str) -> None:
+    Chains the failure that triggered the cancellation (when known) as
+    ``__cause__``, so callers can trace a cancelled branch back to the
+    original fault — chaos harnesses rely on this to tell injected
+    faults from genuine bugs.
+    """
+
+    def __init__(
+        self,
+        task_id: int,
+        func_name: str,
+        cause: "BaseException | None" = None,
+    ) -> None:
         super().__init__(f"task {task_id} ({func_name}) was cancelled")
         self.task_id = task_id
         self.func_name = func_name
+        if cause is not None:
+            self.__cause__ = cause

@@ -46,6 +46,32 @@ def in_worker() -> bool:
     return getattr(_worker_context, "active", False)
 
 
+#: Process-wide chaos hook (see :func:`set_task_fault_injector`): used
+#: when a runtime's config does not carry its own ``fault_injector``.
+_ambient_fault_injector: Optional[Any] = None
+
+
+def set_task_fault_injector(injector: Optional[Any]) -> Optional[Any]:
+    """Install a process-wide task fault injector; returns the previous one.
+
+    The injector's ``before_task(func_name, task_id, worker_id, attempt,
+    remote_deps=...)`` is invoked inside each task's failure scope, so a
+    raise is handled exactly like the task body raising.  Pass ``None``
+    to uninstall.  This exists so chaos tooling can reach runtimes it
+    did not construct (e.g. the one a workflow entrypoint creates
+    internally).
+    """
+    global _ambient_fault_injector
+    previous = _ambient_fault_injector
+    _ambient_fault_injector = injector
+    return previous
+
+
+def get_task_fault_injector() -> Optional[Any]:
+    """The process-wide task fault injector, or ``None``."""
+    return _ambient_fault_injector
+
+
 @dataclass
 class RuntimeConfig:
     """Tunables for a runtime instance.
@@ -62,12 +88,38 @@ class RuntimeConfig:
         Total constraint units; defaults to ``n_workers``.  A task with
         ``@constraint(computing_units=k)`` occupies *k* units while it
         runs, bounding co-execution of heavyweight tasks.
+    transient_retries:
+        Resubmission budget for *transient* failures — exceptions whose
+        ``transient`` attribute is true (the ``repro.faults`` injectors
+        and anything user code marks the same way).  These model flaky
+        infrastructure, so they are retried for every task regardless
+        of its ``OnFailure`` policy, on top of any RETRY budget.
+    retry_backoff_base / retry_backoff_cap:
+        Exponential-backoff schedule for resubmissions: retry *k*
+        dispatches no sooner than ``base * 2**k`` seconds (capped)
+        after the failure.  ``base=0`` disables the delay.
+    fault_injector:
+        Optional chaos hook consulted before each task execution; see
+        :func:`set_task_fault_injector` for the process-wide variant.
     """
 
     n_workers: int = 4
     scheduler: SchedulerPolicy = field(default_factory=FIFOPolicy)
     checkpoint: Optional[CheckpointManager] = None
     computing_units: Optional[int] = None
+    # Sized for chaos runs at ~5% per-op error rates: a task doing a
+    # dozen I/O calls is hit roughly every other attempt, so a small
+    # budget would still fail read-heavy tasks for good fairly often.
+    transient_retries: int = 6
+    retry_backoff_base: float = 0.02
+    retry_backoff_cap: float = 2.0
+    # The per-task worker blacklist is advisory: once a retrying task
+    # has been dispatchable this long without any non-blacklisted worker
+    # picking it up, every worker becomes eligible again.  Hard
+    # blacklisting can deadlock — the only "clean" workers may be pinned
+    # by long-running tasks that transitively wait on the retrying one.
+    blacklist_grace_s: float = 0.5
+    fault_injector: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -76,6 +128,10 @@ class RuntimeConfig:
             self.computing_units = self.n_workers
         if self.computing_units < 1:
             raise ValueError("computing_units must be >= 1")
+        if self.transient_retries < 0:
+            raise ValueError("transient_retries must be >= 0")
+        if self.retry_backoff_base < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
 
 
 #: Slot addressing for INOUT-written future parameters.
@@ -284,8 +340,27 @@ class COMPSsRuntime:
             self._execute(node, worker_id)
 
     def _select_runnable(self, worker_id: int) -> Optional[TaskNode]:
-        """Pick a ready task whose computing units fit; lock is held."""
-        fitting = [t for t in self._ready if t.computing_units <= self._free_units]
+        """Pick a ready task whose computing units fit; lock is held.
+
+        Retrying tasks are skipped while their backoff window is open.
+        A worker avoids tasks that already failed on it (per-worker
+        blacklist), but only for ``config.blacklist_grace_s`` past the
+        backoff window: the blacklist is a placement preference, not a
+        ban — the non-blacklisted workers may all be pinned by
+        long-running tasks that transitively depend on the retrying one,
+        and honouring the blacklist forever would deadlock the graph.
+        """
+        now = _time.monotonic()
+        grace = self.config.blacklist_grace_s
+        fitting = [
+            t for t in self._ready
+            if t.computing_units <= self._free_units
+            and t.not_before <= now
+            and (
+                worker_id not in t.blacklisted_workers
+                or now >= t.not_before + grace
+            )
+        ]
         if not fitting:
             return None
         chosen = self._policy.select(fitting, worker_id, self.graph)
@@ -293,8 +368,12 @@ class COMPSsRuntime:
             self._ready.remove(chosen)
         return chosen
 
-    def _account_transfers(self, node: TaskNode, worker_id: int) -> None:
-        """Charge inter-worker movement for this task's dependencies."""
+    def _account_transfers(self, node: TaskNode, worker_id: int) -> int:
+        """Charge inter-worker movement for this task's dependencies.
+
+        Returns the number of remote (inter-worker) dependencies, which
+        the fault injector uses to decide transfer-failure eligibility.
+        """
         local = remote = moved = 0
         for pred_id in self.graph.predecessors(node.task_id):
             pred = self.graph.task(pred_id)
@@ -322,6 +401,7 @@ class COMPSsRuntime:
                 "compss_transfer_bytes_total",
                 "Bytes moved between workers for dependencies",
             ).inc(moved)
+        return remote
 
     @staticmethod
     def _estimate_nbytes(value: Any, depth: int = 0) -> int:
@@ -371,9 +451,15 @@ class COMPSsRuntime:
                 attrs={"task_id": node.task_id, "worker_id": worker_id,
                        "attempt": node.attempts},
             ) as handle:
-                self._account_transfers(node, worker_id)
+                remote_deps = self._account_transfers(node, worker_id)
                 start = self.tracer.now()
                 try:
+                    injector = self.config.fault_injector or _ambient_fault_injector
+                    if injector is not None:
+                        injector.before_task(
+                            node.func_name, node.task_id, worker_id,
+                            node.attempts, remote_deps=remote_deps,
+                        )
                     mat_args = tuple(self._materialise(a) for a in node.args)
                     mat_kwargs = {
                         k: self._materialise(v) for k, v in node.kwargs.items()
@@ -460,15 +546,82 @@ class COMPSsRuntime:
     # Failure handling
     # ------------------------------------------------------------------
 
+    def _retry_reason(self, node: TaskNode, exc: BaseException) -> Optional[str]:
+        """Classify a failure as retryable; returns the reason or ``None``.
+
+        Accounting contract (locked in by tests): ``attempts`` counts
+        *started executions*, so after the first failure
+        ``retries_done = attempts - 1 == 0``.  A RETRY task re-executes
+        while ``retries_done < max_retries`` — ``max_retries=N`` means
+        exactly N re-executions, N+1 executions total.  Transient
+        (infrastructure) failures draw from the separate
+        ``config.transient_retries`` budget whatever the policy, so a
+        flaky-I/O blip does not consume an application-level verdict.
+        """
+        if getattr(exc, "transient", False):
+            node.transient_failures += 1
+            if node.transient_failures <= self.config.transient_retries:
+                return "transient"
+        # Executions burned by the transient budget must not count
+        # against max_retries, or a flaky-I/O blip would silently eat a
+        # RETRY attempt.  (Capped at the budget: once it is exhausted,
+        # further transient failures do spend RETRY attempts, so a
+        # permanently "transient" error still terminates.)
+        transient_resubmits = min(
+            node.transient_failures, self.config.transient_retries
+        )
+        retries_done = node.attempts - 1 - transient_resubmits
+        if node.on_failure is OnFailure.RETRY and retries_done < node.max_retries:
+            return "policy"
+        return None
+
+    def _resubmit(self, node: TaskNode, exc: BaseException, reason: str) -> None:
+        """Put a failed task back on the ready queue with backoff."""
+        retries_done = node.attempts - 1
+        backoff = 0.0
+        if self.config.retry_backoff_base > 0:
+            backoff = min(
+                self.config.retry_backoff_cap,
+                self.config.retry_backoff_base * (2 ** retries_done),
+            )
+        now = _time.monotonic()
+        failed_worker = node.worker_id
+        with self._wake:
+            if failed_worker is not None:
+                node.blacklisted_workers.add(failed_worker)
+                if len(node.blacklisted_workers) >= self.config.n_workers:
+                    # Every worker has failed this task: a blanket ban
+                    # would starve it, so wipe the slate instead.
+                    node.blacklisted_workers.clear()
+            node.state = TaskState.READY
+            node.ready_at = now
+            node.not_before = now + backoff
+            # The failed execution's units come back until re-dispatch
+            # (matched 1:1 with the decrement in _worker_loop, so the
+            # retry path cannot double-free).
+            self._free_units += node.computing_units
+            self._ready.append(node)
+            self._wake.notify_all()
+        get_registry().counter(
+            "compss_tasks_retried_total",
+            "Task resubmissions by function and cause",
+            labels=("function", "reason"),
+        ).inc(function=node.func_name, reason=reason)
+        record_span(
+            f"retry:{node.func_name}#{node.task_id}", layer="compss",
+            start=now, end=now + backoff, parent=node.trace_ctx,
+            attrs={
+                "task_id": node.task_id, "attempt": node.attempts,
+                "reason": reason, "backoff_s": round(backoff, 6),
+                "failed_worker": failed_worker, "error": repr(exc),
+            },
+        )
+
     def _handle_failure(self, node: TaskNode, exc: BaseException) -> None:
         policy = node.on_failure
-        if policy is OnFailure.RETRY and node.attempts <= node.max_retries:
-            with self._wake:
-                node.state = TaskState.READY
-                node.ready_at = _time.monotonic()
-                self._free_units += node.computing_units
-                self._ready.append(node)
-                self._wake.notify_all()
+        reason = self._retry_reason(node, exc)
+        if reason is not None:
+            self._resubmit(node, exc, reason)
             return
 
         if policy is OnFailure.IGNORE:
@@ -499,14 +652,16 @@ class COMPSsRuntime:
                 self._workflow_error = error
             self._finish_locked(node)
             for cid in sorted(cancel_ids):
-                self._cancel_locked(cid)
+                self._cancel_locked(cid, cause=error)
 
-    def _cancel_locked(self, task_id: int) -> None:
+    def _cancel_locked(
+        self, task_id: int, cause: Optional[BaseException] = None
+    ) -> None:
         node = self.graph.task(task_id)
         if node.state.terminal or node.state is TaskState.RUNNING:
             return
         node.state = TaskState.CANCELLED
-        cancel_error = TaskCancelledError(node.task_id, node.func_name)
+        cancel_error = TaskCancelledError(node.task_id, node.func_name, cause)
         for future in node.futures:
             future._set_exception(cancel_error)
         for _, future in node.inout_futures:

@@ -53,7 +53,19 @@ class TaskNode:
     label: Optional[str] = None
 
     state: TaskState = TaskState.PENDING
+    #: Executions *started* (incremented at dispatch): after N failed
+    #: runs and a success, ``attempts == N + 1``.
     attempts: int = 0
+    #: Failures attributed to infrastructure (``exc.transient``), which
+    #: the runtime retries outside the task's own RETRY budget.
+    transient_failures: int = 0
+    #: Workers this task failed on; the scheduler prefers other workers
+    #: on retry (wiped when every worker is on it, and overridable after
+    #: a grace period so pinned workers cannot starve the task).
+    blacklisted_workers: Set[int] = field(default_factory=set)
+    #: Monotonic time before which a retrying task must not dispatch
+    #: (exponential backoff).
+    not_before: float = 0.0
     exception: Optional[BaseException] = None
     worker_id: Optional[int] = None
     submit_order: int = 0

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and chaos experiments.
+
+The paper's workflows run for days across hundreds of nodes, where node
+loss and flaky storage are routine; this package makes those failures a
+first-class, *reproducible* input to the simulated stack.  A seeded
+:class:`FaultPlan` says what breaks and when; injectors raise at the
+filesystem and task-execution hook points; :class:`ChaosController` and
+:func:`run_chaos_experiment` drive a full workflow through the schedule
+and check that recovery (task resubmission, LSF requeue, checkpoint
+resume) reproduces the fault-free results exactly.
+
+See ``docs/RESILIENCE.md`` for the fault model and recovery semantics.
+"""
+
+from repro.faults.errors import (
+    InjectedFault,
+    InjectedIOError,
+    InjectedTaskError,
+    InjectedTransferError,
+    NodeCrashedError,
+)
+from repro.faults.plan import DEFAULT_FS_OPS, FaultPlan, NodeCrash
+from repro.faults.injectors import FilesystemFaultInjector, TaskFaultInjector
+from repro.faults.chaos import ChaosController, run_chaos_experiment
+
+__all__ = [
+    "InjectedFault", "InjectedIOError", "InjectedTaskError",
+    "InjectedTransferError", "NodeCrashedError",
+    "DEFAULT_FS_OPS", "FaultPlan", "NodeCrash",
+    "FilesystemFaultInjector", "TaskFaultInjector",
+    "ChaosController", "run_chaos_experiment",
+]

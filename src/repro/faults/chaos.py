@@ -1,0 +1,300 @@
+"""Chaos experiments: run the workflow under a fault plan, prove recovery.
+
+:class:`ChaosController` arms a :class:`~repro.faults.plan.FaultPlan`
+against one :class:`~repro.cluster.cluster.Cluster`: it installs the
+filesystem and task injectors, schedules node deaths, and repairs the
+system between workflow attempts (a crashed node "reboots" before the
+requeued job starts, like a replacement host joining the LSF cluster).
+
+:func:`run_chaos_experiment` is the end-to-end harness behind
+``repro chaos``: it executes a fault-free reference run, then the same
+workflow under the plan — resubmitting through the batch layer until it
+survives — and reports whether the recovered results match the
+reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.cluster.cluster import Cluster, laptop_like
+from repro.cluster.lsf import Job, JobError
+from repro.compss import runtime as compss_runtime
+from repro.faults.errors import InjectedFault
+from repro.faults.injectors import FilesystemFaultInjector, TaskFaultInjector
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.observability.metrics import get_registry
+from repro.observability.spans import span
+from repro.workflow.config import WorkflowParams
+from repro.workflow.extreme_events import run_extreme_events_workflow
+
+#: Counter families a chaos report extracts from the metrics delta.
+CHAOS_COUNTERS = (
+    "faults_injected_total",
+    "compss_tasks_retried_total",
+    "lsf_jobs_requeued_total",
+    "lsf_node_crashes_total",
+    "workflow_restarts_total",
+)
+
+
+class ChaosController:
+    """Arms a fault plan against a cluster for the duration of a run.
+
+    Lifecycle: ``start()`` installs the injectors and schedules
+    time-triggered crashes; ``stop()`` uninstalls everything and repairs
+    the cluster.  Usable as a context manager.  Between workflow
+    attempts, :meth:`begin_attempt` plays the operator: it clears crash
+    mode and brings downed nodes back, so a requeued job sees a healed
+    system (each :class:`NodeCrash` is one-shot and never re-fires).
+    """
+
+    def __init__(self, cluster: Cluster, plan: FaultPlan) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.fs_injector = FilesystemFaultInjector(plan)
+        self.task_injector = TaskFaultInjector(plan)
+        self.crashes_fired: List[NodeCrash] = []
+        self.attempts = 0
+        self._timers: List[threading.Timer] = []
+        self._fired: Set[int] = set()
+        self._lock = threading.Lock()
+        self._job_id: Optional[int] = None
+        self._prev_task_injector: Optional[Any] = None
+        self._active = False
+
+    def __enter__(self) -> "ChaosController":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("chaos controller already started")
+        self._active = True
+        self.fs_injector.on_write = self._on_write
+        self.cluster.filesystem.fault_injector = self.fs_injector
+        self._prev_task_injector = compss_runtime.set_task_fault_injector(
+            self.task_injector
+        )
+        for idx, crash in enumerate(self.plan.node_crashes):
+            if crash.at_seconds is not None:
+                timer = threading.Timer(crash.at_seconds, self._fire, args=(idx,))
+                timer.daemon = True
+                self._timers.append(timer)
+                timer.start()
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        compss_runtime.set_task_fault_injector(self._prev_task_injector)
+        self.cluster.filesystem.fault_injector = None
+        self.fs_injector.on_write = None
+        self._repair()
+
+    # -- workflow attempts ---------------------------------------------------
+
+    def attach_job(self, job: Job) -> None:
+        """Declare *job* the workflow under test.
+
+        When a node dies the controller flags this job for requeue even
+        if LSF placed it elsewhere: the workflow spans the whole system
+        (its runtime and streams touch every node's filesystem view), so
+        losing any node loses part of the application — the ``brequeue``
+        treatment real multi-node jobs get.
+        """
+        with self._lock:
+            self._job_id = job.job_id
+
+    def begin_attempt(self) -> int:
+        """Record one execution of the workflow body; heal on retries."""
+        with self._lock:
+            self.attempts += 1
+            n = self.attempts
+        if n > 1:
+            get_registry().counter(
+                "workflow_restarts_total",
+                "Whole-workflow re-executions after a failed attempt",
+            ).inc()
+            self._repair()
+        return n
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap the workflow entrypoint so every (re)start checks in."""
+
+        def chaos_wrapped(*args: Any, **kwargs: Any) -> Any:
+            self.begin_attempt()
+            return fn(*args, **kwargs)
+
+        return chaos_wrapped
+
+    # -- fault firing --------------------------------------------------------
+
+    def _on_write(self, writes_seen: int) -> None:
+        for idx, crash in enumerate(self.plan.node_crashes):
+            if (
+                crash.after_fs_writes is not None
+                and writes_seen >= crash.after_fs_writes
+            ):
+                self._fire(idx)
+
+    def _fire(self, idx: int) -> None:
+        with self._lock:
+            if not self._active or idx in self._fired:
+                return
+            self._fired.add(idx)
+            job_id = self._job_id
+        crash = self.plan.node_crashes[idx]
+        self.crashes_fired.append(crash)
+        self.cluster.scheduler.kill_node(crash.node)
+        self.fs_injector.enter_crash_mode(crash.node)
+        if job_id is not None:
+            try:
+                self.cluster.scheduler.requeue_running(job_id)
+            except KeyError:  # pragma: no cover - job evicted already
+                pass
+
+    def _repair(self) -> None:
+        self.fs_injector.clear_crash_mode()
+        for crash in list(self.crashes_fired):
+            try:
+                self.cluster.scheduler.restore_node(crash.node)
+            except KeyError:  # pragma: no cover - foreign node name
+                pass
+
+
+def _caused_by_injected_fault(exc: Optional[BaseException]) -> bool:
+    """True when an :class:`InjectedFault` appears in the cause chain."""
+    seen: Set[int] = set()
+    while exc is not None and id(exc) not in seen:
+        if isinstance(exc, InjectedFault):
+            return True
+        seen.add(id(exc))
+        exc = exc.__cause__ or exc.__context__
+    return False
+
+
+def _canonical(years: Dict[Any, Any]) -> str:
+    return json.dumps(years, sort_keys=True, default=str)
+
+
+def run_chaos_experiment(
+    plan: FaultPlan,
+    params: Optional[WorkflowParams] = None,
+    make_cluster: Optional[Callable[[], Cluster]] = None,
+    max_workflow_attempts: int = 4,
+    attempt_timeout: float = 600.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Reference run + chaos run; returns the comparison report.
+
+    The reference executes in-process on a pristine cluster with no
+    injectors.  The chaos run is submitted through LSF on a second
+    cluster armed with *plan*: node deaths requeue the job inside the
+    batch layer, and attempts that die outside it (an injected fault in
+    the driver itself) are resubmitted here, up to
+    *max_workflow_attempts* total executions.  The chaos run writes
+    checkpoints so a restarted attempt recovers finished work instead of
+    recomputing the whole projection.
+
+    The report's ``match`` field is the experiment's verdict: the
+    per-year scientific results of the chaos run are byte-identical to
+    the fault-free reference.
+    """
+    if max_workflow_attempts < 1:
+        raise ValueError("max_workflow_attempts must be >= 1")
+    factory = make_cluster or laptop_like
+    params = params or WorkflowParams()
+    say = log or (lambda message: None)
+
+    baseline_params = dataclasses.replace(params, checkpoint_dir=None)
+    say("reference run (no faults) ...")
+    with span("chaos.baseline", layer="faults"):
+        baseline_cluster = factory()
+        try:
+            if plan.node_crashes:
+                known = {n.name for n in baseline_cluster.nodes}
+                missing = {c.node for c in plan.node_crashes} - known
+                if missing:
+                    raise ValueError(
+                        f"fault plan kills unknown node(s) {sorted(missing)}; "
+                        f"cluster has {sorted(known)}"
+                    )
+            baseline = run_extreme_events_workflow(baseline_cluster, baseline_params)
+        finally:
+            baseline_cluster.shutdown(wait=False)
+
+    cluster = factory()
+    chaos_params = dataclasses.replace(
+        params, checkpoint_dir=cluster.filesystem.path("chaos_checkpoints")
+    )
+    registry = get_registry()
+    snap_before = registry.snapshot()
+    say(f"chaos run under {plan.describe()} ...")
+    chaos_summary: Optional[Dict[str, Any]] = None
+    last_error: Optional[BaseException] = None
+    try:
+        with span("chaos.run", layer="faults", attrs={"plan": plan.describe()}), \
+                ChaosController(cluster, plan) as controller:
+            entry = controller.wrap(run_extreme_events_workflow)
+            while chaos_summary is None and controller.attempts < max_workflow_attempts:
+                crashes_before = len(controller.crashes_fired)
+                job = cluster.scheduler.bsub(
+                    entry, cluster, chaos_params,
+                    name="extreme-events", cores=1,
+                    max_requeues=max_workflow_attempts,
+                )
+                controller.attach_job(job)
+                try:
+                    chaos_summary = job.wait(timeout=attempt_timeout)
+                except JobError as err:
+                    last_error = err
+                    crash_hit = len(controller.crashes_fired) > crashes_before
+                    if not (_caused_by_injected_fault(err) or crash_hit):
+                        raise  # a real bug, not our fault injection
+                    say(
+                        f"attempt {controller.attempts} died from injected "
+                        f"faults ({err.__cause__!r}); resubmitting"
+                    )
+    finally:
+        cluster.shutdown(wait=False)
+    if chaos_summary is None:
+        raise RuntimeError(
+            f"workflow did not survive {plan.describe()} within "
+            f"{max_workflow_attempts} attempts"
+        ) from last_error
+
+    delta = registry.snapshot().delta(snap_before)
+    report: Dict[str, Any] = {
+        "plan": plan.describe(),
+        "match": _canonical(baseline["years"]) == _canonical(chaos_summary["years"]),
+        "workflow_attempts": None,
+        "baseline_years": baseline["years"],
+        "chaos_years": chaos_summary["years"],
+        "counters": {name: delta.value(name) for name in CHAOS_COUNTERS},
+        "faults_by_kind": {
+            kind: delta.value("faults_injected_total", kind=kind)
+            for kind in (
+                "node_crash_io", "task_exception", "transfer",
+                *(f"fs_{op}" for op in plan.fs_ops),
+            )
+            if delta.value("faults_injected_total", kind=kind)
+        },
+    }
+    # The controller is gone by now; recover its attempt count from the
+    # restart counter (attempts = restarts + 1).
+    report["workflow_attempts"] = int(
+        delta.value("workflow_restarts_total")
+    ) + 1
+    return report

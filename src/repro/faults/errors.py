@@ -1,0 +1,75 @@
+"""Exception taxonomy of the fault-injection plane.
+
+Injected faults model two classes of real HPC failure:
+
+* **Transient** faults (``transient = True``) — flaky shared-filesystem
+  I/O, dropped inter-worker transfers, spurious task crashes.  The
+  COMPSs runtime resubmits the affected task with exponential backoff
+  regardless of its ``OnFailure`` policy, blacklisting the worker the
+  failure occurred on.
+* **Fatal** faults (``transient = False``) — a compute node dying.
+  These kill whatever was running; recovery happens one layer up (LSF
+  requeues the job, checkpointing resumes the workflow).
+
+The ``transient`` attribute is the only contract between this package
+and the runtime: ``repro.compss.runtime`` duck-types on it, so user
+code can mark its own exceptions retryable the same way.
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(Exception):
+    """Base class for every fault raised by an injector."""
+
+    #: Whether the runtime should transparently resubmit the task.
+    transient = True
+
+
+class InjectedIOError(InjectedFault, OSError):
+    """A shared-filesystem operation failed (flaky GPFS read/write)."""
+
+    def __init__(self, op: str, path: str) -> None:
+        super().__init__(f"injected I/O error: {op} {path!r}")
+        self.op = op
+        self.path = path
+
+
+class InjectedTaskError(InjectedFault, RuntimeError):
+    """A task body crashed for no application reason (bit flip, OOM kill)."""
+
+    def __init__(self, func_name: str, task_id: int) -> None:
+        super().__init__(f"injected task failure in {func_name}#{task_id}")
+        self.func_name = func_name
+        self.task_id = task_id
+
+
+class InjectedTransferError(InjectedFault, RuntimeError):
+    """An inter-worker dependency transfer was dropped."""
+
+    def __init__(self, func_name: str, task_id: int, n_remote: int) -> None:
+        super().__init__(
+            f"injected transfer failure feeding {func_name}#{task_id} "
+            f"({n_remote} remote dependencies)"
+        )
+        self.func_name = func_name
+        self.task_id = task_id
+        self.n_remote = n_remote
+
+
+class NodeCrashedError(InjectedFault, RuntimeError):
+    """The compute node hosting this work died.
+
+    Fatal to the task/job that observes it: the thread cannot continue
+    on a dead node, so the error propagates and the batch layer requeues
+    the job onto a surviving node.
+    """
+
+    transient = False
+
+    def __init__(self, node_name: str, detail: str = "") -> None:
+        msg = f"node {node_name!r} crashed"
+        if detail:
+            msg = f"{msg}: {detail}"
+        super().__init__(msg)
+        self.node_name = node_name

@@ -96,6 +96,27 @@ class YearCollector:
                     self._cond.notify_all()
 
 
+def _retry_transient(action, attempts: int = 5):
+    """Run idempotent driver-side I/O, absorbing *transient* faults.
+
+    Artefact exports and provenance hashing run on the driver, outside
+    any task, so the runtime's transient-resubmission machinery cannot
+    cover them; a single flaky-storage blip there would otherwise kill a
+    workflow whose science already completed.  Anything non-transient
+    (or a fault that persists through every attempt) still raises.
+    """
+    for attempt in range(attempts):
+        try:
+            return action()
+        except Exception as exc:  # noqa: BLE001 - retry transient only
+            if not getattr(exc, "transient", False) or attempt == attempts - 1:
+                raise
+
+
+def _write_artifact(fs, rel_path: str, payload: bytes) -> None:
+    _retry_transient(lambda: fs.write_bytes(rel_path, payload))
+
+
 def run_extreme_events_workflow(
     cluster: Cluster,
     params: "WorkflowParams | Dict[str, Any]",
@@ -142,23 +163,23 @@ def run_extreme_events_workflow(
     ).set(schedule.get("worker_utilisation", 0.0))
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
 
-    fs.write_bytes(
-        f"{p.results_dir}/trace.json",
+    _write_artifact(
+        fs, f"{p.results_dir}/trace.json",
         build_perfetto_trace(
             get_collector().for_trace(trace_id),
             runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
         ).encode(),
     )
-    fs.write_bytes(
-        f"{p.results_dir}/metrics.json",
+    _write_artifact(
+        fs, f"{p.results_dir}/metrics.json",
         json.dumps(summary["metrics"], indent=1).encode(),
     )
-    fs.write_bytes(
-        f"{p.results_dir}/metrics.prom",
+    _write_artifact(
+        fs, f"{p.results_dir}/metrics.prom",
         MetricsSnapshot(summary["metrics"]).to_prometheus().encode(),
     )
-    fs.write_bytes(
-        f"{p.results_dir}/run_summary.json",
+    _write_artifact(
+        fs, f"{p.results_dir}/run_summary.json",
         json.dumps(summary, indent=1, default=str).encode(),
     )
     return summary
@@ -190,152 +211,161 @@ def _run_traced(
             scheduler=policy_by_name(p.scheduler),
             checkpoint=checkpoint,
         ) as runtime:
-            # Step 3: the ESM simulation (runs for the whole projection).
-            truth_f = tasks.esm_simulation(
-                fs, list(p.years), p.n_days, p.n_lat, p.n_lon,
-                p.scenario, p.seed, p.output_dir,
-                pace_seconds or p.pace_seconds, p.esm_restart_every,
-            )
-            baseline_path_f = tasks.write_baseline(
-                fs, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days
-            )
-            if p.sequential:
-                # C1 baseline: no overlap — the whole simulation finishes
-                # before any analytics is even submitted.
-                compss_wait_on(truth_f)
-            shared_baseline = None
-            if p.reuse_baseline:
-                shared_baseline = tasks.load_baseline_cubes(
-                    client, baseline_path_f, p.nfrag, p.n_days
+            try:
+                # Step 3: the ESM simulation (runs for the whole projection).
+                truth_f = tasks.esm_simulation(
+                    fs, list(p.years), p.n_days, p.n_lat, p.n_lon,
+                    p.scenario, p.seed, p.output_dir,
+                    pace_seconds or p.pace_seconds, p.esm_restart_every,
                 )
-
-            per_year: Dict[int, Dict[str, Any]] = {}
-            for year in p.years:
-                if shared_baseline is not None:
-                    base_tmax_f, base_tmin_f = shared_baseline
-                else:
-                    base_tmax_f, base_tmin_f = tasks.load_baseline_cubes(
+                baseline_path_f = tasks.write_baseline(
+                    fs, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days
+                )
+                if p.sequential:
+                    # C1 baseline: no overlap — the whole simulation finishes
+                    # before any analytics is even submitted.
+                    compss_wait_on(truth_f)
+                shared_baseline = None
+                if p.reuse_baseline:
+                    shared_baseline = tasks.load_baseline_cubes(
                         client, baseline_path_f, p.nfrag, p.n_days
                     )
-                # Step 4: stream-triggered per-year analytics.
-                days_f = tasks.monitor_year(collector, year, p.n_days)
-                tmax_f, tmin_f = tasks.load_year_cubes(client, days_f, p.nfrag)
-                futures: Dict[str, Any] = {"days": days_f}
 
-                for kind, data_f, base_f in (
-                    ("heat", tmax_f, base_tmax_f),
-                    ("cold", tmin_f, base_tmin_f),
-                ):
-                    prefix = "hw" if kind == "heat" else "cw"
-                    dur_f = tasks.compute_qualifying_durations(
-                        client, data_f, base_f, kind, p.threshold_k, p.min_length_days
-                    )
-                    dmax_f = tasks.index_duration_max(
-                        client, dur_f, f"{prefix}_duration_max_{year:04d}", p.results_dir
-                    )
-                    num_f = tasks.index_duration_number(
-                        client, dur_f, f"{prefix}_number_{year:04d}", p.results_dir
-                    )
-                    freq_f = tasks.index_frequency(
-                        client, dur_f, p.n_days,
-                        f"{prefix}_frequency_{year:04d}", p.results_dir,
-                    )
-                    stats_f = tasks.validate_and_store(
-                        fs, dmax_f, num_f, freq_f, kind, year,
-                        p.n_days, p.min_length_days, p.results_dir,
-                    )
-                    map_f = tasks.make_map(
-                        fs, num_f,
-                        f"{'Heat' if kind == 'heat' else 'Cold'} Wave Number {year}",
-                        f"{prefix}_number_map_{year:04d}", p.results_dir,
-                    )
-                    futures[f"{prefix}_stats"] = stats_f
-                    futures[f"{prefix}_map"] = map_f
-                    cube_futures.extend([dur_f, dmax_f, num_f, freq_f])
+                per_year: Dict[int, Dict[str, Any]] = {}
+                for year in p.years:
+                    if shared_baseline is not None:
+                        base_tmax_f, base_tmin_f = shared_baseline
+                    else:
+                        base_tmax_f, base_tmin_f = tasks.load_baseline_cubes(
+                            client, baseline_path_f, p.nfrag, p.n_days
+                        )
+                    # Step 4: stream-triggered per-year analytics.
+                    days_f = tasks.monitor_year(collector, year, p.n_days)
+                    tmax_f, tmin_f = tasks.load_year_cubes(client, days_f, p.nfrag)
+                    futures: Dict[str, Any] = {"days": days_f}
 
-                # Step 4b: tropical cyclones.
-                if p.with_ml:
-                    prep_f = tasks.tc_preprocess(fs, days_f, p.tc_target_grid)
-                    det_f = tasks.tc_inference(tc_model_path, prep_f)
-                    futures["tc_ml_path"] = tasks.tc_georeference(
-                        fs, det_f, year, p.results_dir
-                    )
-                    futures["tc_ml"] = det_f
-                futures["tc_tracks"] = tasks.tc_deterministic_tracking(
-                    fs, days_f, year, p.results_dir
-                )
-                cube_futures.extend([tmax_f, tmin_f])
-                per_year[year] = futures
+                    for kind, data_f, base_f in (
+                        ("heat", tmax_f, base_tmax_f),
+                        ("cold", tmin_f, base_tmin_f),
+                    ):
+                        prefix = "hw" if kind == "heat" else "cw"
+                        dur_f = tasks.compute_qualifying_durations(
+                            client, data_f, base_f, kind, p.threshold_k, p.min_length_days
+                        )
+                        dmax_f = tasks.index_duration_max(
+                            client, dur_f, f"{prefix}_duration_max_{year:04d}", p.results_dir
+                        )
+                        num_f = tasks.index_duration_number(
+                            client, dur_f, f"{prefix}_number_{year:04d}", p.results_dir
+                        )
+                        freq_f = tasks.index_frequency(
+                            client, dur_f, p.n_days,
+                            f"{prefix}_frequency_{year:04d}", p.results_dir,
+                        )
+                        stats_f = tasks.validate_and_store(
+                            fs, dmax_f, num_f, freq_f, kind, year,
+                            p.n_days, p.min_length_days, p.results_dir,
+                        )
+                        map_f = tasks.make_map(
+                            fs, num_f,
+                            f"{'Heat' if kind == 'heat' else 'Cold'} Wave Number {year}",
+                            f"{prefix}_number_map_{year:04d}", p.results_dir,
+                        )
+                        futures[f"{prefix}_stats"] = stats_f
+                        futures[f"{prefix}_map"] = map_f
+                        cube_futures.extend([dur_f, dmax_f, num_f, freq_f])
 
-            # Step 5/6: synchronise, validate, summarise.
-            truth = compss_wait_on(truth_f)
-            for year, futures in per_year.items():
-                year_summary: Dict[str, Any] = {
-                    "heat_waves": compss_wait_on(futures["hw_stats"]),
-                    "cold_waves": compss_wait_on(futures["cw_stats"]),
-                    "maps": [
-                        compss_wait_on(futures["hw_map"]),
-                        compss_wait_on(futures["cw_map"]),
-                    ],
-                }
-                tracking = compss_wait_on(futures["tc_tracks"])
-                year_summary["tc_deterministic"] = {
-                    "n_tracks": len(tracking["tracks"]),
-                    "path": tracking["path"],
-                    "skill": tasks.score_against_truth(
-                        tracking["tracks"],
-                        truth[year]["tropical_cyclones"],
-                        p.n_days,
-                    ),
-                }
-                if p.with_ml:
-                    detections = compss_wait_on(futures["tc_ml"])
-                    year_summary["tc_ml"] = {
-                        "n_detections": len(detections),
-                        "path": compss_wait_on(futures["tc_ml_path"]),
+                    # Step 4b: tropical cyclones.
+                    if p.with_ml:
+                        prep_f = tasks.tc_preprocess(fs, days_f, p.tc_target_grid)
+                        det_f = tasks.tc_inference(tc_model_path, prep_f)
+                        futures["tc_ml_path"] = tasks.tc_georeference(
+                            fs, det_f, year, p.results_dir
+                        )
+                        futures["tc_ml"] = det_f
+                    futures["tc_tracks"] = tasks.tc_deterministic_tracking(
+                        fs, days_f, year, p.results_dir
+                    )
+                    cube_futures.extend([tmax_f, tmin_f])
+                    per_year[year] = futures
+
+                # Step 5/6: synchronise, validate, summarise.
+                truth = compss_wait_on(truth_f)
+                for year, futures in per_year.items():
+                    year_summary: Dict[str, Any] = {
+                        "heat_waves": compss_wait_on(futures["hw_stats"]),
+                        "cold_waves": compss_wait_on(futures["cw_stats"]),
+                        "maps": [
+                            compss_wait_on(futures["hw_map"]),
+                            compss_wait_on(futures["cw_map"]),
+                        ],
                     }
-                summary["years"][year] = year_summary
+                    tracking = compss_wait_on(futures["tc_tracks"])
+                    year_summary["tc_deterministic"] = {
+                        "n_tracks": len(tracking["tracks"]),
+                        "path": tracking["path"],
+                        "skill": tasks.score_against_truth(
+                            tracking["tracks"],
+                            truth[year]["tropical_cyclones"],
+                            p.n_days,
+                        ),
+                    }
+                    if p.with_ml:
+                        detections = compss_wait_on(futures["tc_ml"])
+                        year_summary["tc_ml"] = {
+                            "n_detections": len(detections),
+                            "path": compss_wait_on(futures["tc_ml_path"]),
+                        }
+                    summary["years"][year] = year_summary
 
-            # Free datacubes now that everything is exported.
-            for cube in compss_wait_on(cube_futures):
-                cube.delete()
-            if shared_baseline is not None:
-                for cube in compss_wait_on(list(shared_baseline)):
+                # Free datacubes now that everything is exported.
+                for cube in compss_wait_on(cube_futures):
                     cube.delete()
+                if shared_baseline is not None:
+                    for cube in compss_wait_on(list(shared_baseline)):
+                        cube.delete()
 
-            # Step 6/7: provenance artefacts.
-            summary["task_graph"] = {
-                "n_tasks": len(runtime.graph),
-                "n_edges": len(runtime.graph.edges()),
-                "by_function": dict(runtime.graph.counts_by_function()),
-                "critical_path": runtime.graph.critical_path_length(),
-                "max_width": runtime.graph.max_width(),
-            }
-            fs.write_bytes(
-                f"{p.results_dir}/task_graph.dot",
-                runtime.graph.to_dot("extreme_events").encode(),
-            )
-            summary["schedule"] = {
-                "makespan_s": runtime.tracer.makespan(),
-                "esm_analytics_overlap_s": runtime.tracer.overlap_group_seconds(
-                    "esm_simulation", ANALYTICS_TASKS
-                ),
-                "worker_utilisation": runtime.tracer.worker_utilisation(p.n_workers),
-                "transfers": dict(runtime.transfer_stats),
-            }
-            summary["storage"] = {
-                "fs_reads": fs.stats.reads,
-                "fs_bytes_read": fs.stats.bytes_read,
-                "ophidia_fragment_reads": server.storage_stats().fragment_reads,
-            }
-            from repro.workflow.provenance import write_provenance
+                # Step 6/7: provenance artefacts.
+                summary["task_graph"] = {
+                    "n_tasks": len(runtime.graph),
+                    "n_edges": len(runtime.graph.edges()),
+                    "by_function": dict(runtime.graph.counts_by_function()),
+                    "critical_path": runtime.graph.critical_path_length(),
+                    "max_width": runtime.graph.max_width(),
+                }
+                _write_artifact(
+                    fs, f"{p.results_dir}/task_graph.dot",
+                    runtime.graph.to_dot("extreme_events").encode(),
+                )
+                summary["schedule"] = {
+                    "makespan_s": runtime.tracer.makespan(),
+                    "esm_analytics_overlap_s": runtime.tracer.overlap_group_seconds(
+                        "esm_simulation", ANALYTICS_TASKS
+                    ),
+                    "worker_utilisation": runtime.tracer.worker_utilisation(p.n_workers),
+                    "transfers": dict(runtime.transfer_stats),
+                }
+                summary["storage"] = {
+                    "fs_reads": fs.stats.reads,
+                    "fs_bytes_read": fs.stats.bytes_read,
+                    "ophidia_fragment_reads": server.storage_stats().fragment_reads,
+                }
+                from repro.workflow.provenance import write_provenance
 
-            summary["provenance_path"] = write_provenance(
-                runtime, fs, path=f"{p.results_dir}/provenance.json",
-                params={"years": p.years, "n_days": p.n_days,
-                        "scenario": p.scenario, "seed": p.seed},
-                output_dirs=[p.results_dir],
-            )
+                summary["provenance_path"] = _retry_transient(
+                    lambda: write_provenance(
+                        runtime, fs, path=f"{p.results_dir}/provenance.json",
+                        params={"years": p.years, "n_days": p.n_days,
+                                "scenario": p.scenario, "seed": p.seed},
+                        output_dirs=[p.results_dir],
+                    )
+                )
+            finally:
+                # Unblock monitor tasks still parked in the stream
+                # before COMPSs.__exit__ joins the workers: on a
+                # failed run they would otherwise hold shutdown for
+                # the full join timeout each.
+                collector.close()
     finally:
         collector.close()
         server.shutdown()

@@ -1,0 +1,18 @@
+"""Shared fixtures: no runtime or ambient injector leaks between tests."""
+
+import pytest
+
+from repro.compss import compss_stop
+from repro.compss.api import get_runtime
+from repro.compss.runtime import set_task_fault_injector
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    if get_runtime() is not None:
+        compss_stop(wait=False)
+    set_task_fault_injector(None)
+    yield
+    if get_runtime() is not None:
+        compss_stop(wait=False)
+    set_task_fault_injector(None)

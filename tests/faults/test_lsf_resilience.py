@@ -1,0 +1,135 @@
+"""Batch-layer resilience: infinite-pend rejection, node death, requeue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import JobState, LSFScheduler, Node
+from repro.observability.metrics import get_registry
+
+
+@pytest.fixture
+def sched():
+    s = LSFScheduler([Node("n1", 4, 16.0), Node("n2", 4, 16.0)])
+    yield s
+    s.shutdown(wait=False)
+
+
+def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestInfinitePendRegression:
+    """A job no single node can host must fail at submit, not PEND forever."""
+
+    def test_cross_dimension_unsatisfiable_rejected(self):
+        # Each dimension is individually satisfiable (8 cores on one
+        # node, 64 GB on the other) but no node offers both; this shape
+        # used to pend forever and wedge wait_all()/shutdown(wait=True).
+        sched = LSFScheduler([Node("fat-cpu", 8, 4.0), Node("fat-mem", 2, 64.0)])
+        try:
+            with pytest.raises(ValueError, match="pend forever"):
+                sched.bsub(lambda: None, name="wedge", cores=8, memory_gb=64.0)
+            assert sched.bjobs() == []  # nothing was enqueued
+            # The scheduler stays usable for satisfiable work.
+            job = sched.bsub(lambda: 11, name="ok", cores=2, memory_gb=4.0)
+            assert job.wait(timeout=5) == 11
+            sched.wait_all(timeout=5)  # returns: no ghost job wedges it
+        finally:
+            sched.shutdown(wait=False)
+
+    def test_error_names_the_largest_node(self):
+        sched = LSFScheduler([Node("n1", 4, 16.0)])
+        try:
+            with pytest.raises(ValueError, match="cores=4"):
+                sched.bsub(lambda: None, cores=4, memory_gb=32.0)
+        finally:
+            sched.shutdown(wait=False)
+
+
+class TestNodeDeathRecovery:
+    def test_kill_node_requeues_job_onto_survivor(self, sched):
+        executions = []
+        proceed = threading.Event()
+
+        def body():
+            executions.append(1)
+            proceed.wait(timeout=5)
+            return "survived"
+
+        before = get_registry().snapshot()
+        job = sched.bsub(body, name="victim", cores=1)
+        assert wait_for(lambda: job.state is JobState.RUN)
+        dead = job.node_name
+        flagged = sched.kill_node(dead)
+        assert job in flagged
+        proceed.set()  # let the doomed execution unwind
+        assert job.wait(timeout=5) == "survived"
+        assert job.state is JobState.DONE
+        assert job.requeues == 1
+        assert job.node_name != dead  # placed on the surviving node
+        assert len(executions) == 2   # first outcome was discarded
+        delta = get_registry().snapshot().delta(before)
+        assert delta.value("lsf_node_crashes_total") == 1
+        assert delta.value("lsf_jobs_requeued_total") == 1
+
+    def test_restore_node_rejoins_pool(self, sched):
+        sched.kill_node("n1")
+        sched.restore_node("n1")
+        jobs = [sched.bsub(lambda: 1, cores=4) for _ in range(2)]
+        sched.wait_all(timeout=5)  # needs both nodes: each job wants 4 cores
+        assert {j.state for j in jobs} == {JobState.DONE}
+
+    def test_requeue_running_brequeue_analogue(self, sched):
+        executions = []
+        gate = threading.Event()
+
+        def body():
+            executions.append(1)
+            if len(executions) == 1:
+                gate.wait(timeout=5)
+            return len(executions)
+
+        job = sched.bsub(body, name="requeued")
+        assert wait_for(lambda: job.state is JobState.RUN)
+        assert sched.requeue_running(job.job_id)
+        gate.set()
+        assert job.wait(timeout=5) == 2
+        assert job.requeues == 1
+
+    def test_requeue_budget_exhausted_reports_exit(self, sched):
+        executions = []
+        started = threading.Event()
+        gate = threading.Event()
+
+        def body():
+            executions.append(1)
+            started.set()
+            gate.wait(timeout=5)
+            gate.clear()
+            raise RuntimeError("died with the node")
+
+        job = sched.bsub(body, name="doomed", max_requeues=1)
+        for _ in range(2):  # initial execution + the single allowed requeue
+            assert started.wait(timeout=5)
+            started.clear()
+            assert wait_for(lambda: job.state is JobState.RUN)
+            sched.requeue_running(job.job_id)
+            gate.set()
+        with pytest.raises(Exception):
+            job.wait(timeout=5)
+        assert job.state is JobState.EXIT
+        assert job.requeues == 1
+        assert len(executions) == 2
+
+    def test_kill_unknown_node_raises(self, sched):
+        with pytest.raises(KeyError):
+            sched.kill_node("nope")
+        with pytest.raises(KeyError):
+            sched.restore_node("nope")

@@ -1,0 +1,141 @@
+"""Failure-policy corners: INOUT ownership, branch isolation, checkpoints."""
+
+import threading
+
+import pytest
+
+from repro.compss import (
+    COMPSs,
+    INOUT,
+    OnFailure,
+    TaskCancelledError,
+    TaskFailedError,
+    compss_wait_on,
+    task,
+)
+from repro.compss.checkpoint import CheckpointManager
+
+
+class TestIgnoreInoutOwnership:
+    """IGNORE nulls an INOUT future only when the failed task is its
+    last writer — a later writer owns the next version."""
+
+    def test_last_writer_failure_nulls_the_future(self):
+        @task(returns=1)
+        def new_list():
+            return []
+
+        @task(data=INOUT, on_failure=OnFailure.IGNORE)
+        def bad_append(data):
+            raise RuntimeError("ignored")
+
+        with COMPSs(n_workers=2) as rt:
+            lst = new_list()
+            bad_append(lst)
+            assert compss_wait_on(lst) is None
+            assert not rt.failed
+
+    def test_mid_chain_failure_preserves_later_version(self):
+        @task(returns=1)
+        def new_list():
+            return []
+
+        @task(data=INOUT, on_failure=OnFailure.IGNORE)
+        def bad_append(data):
+            raise RuntimeError("ignored")
+
+        @task(data=INOUT)
+        def append(data, value):
+            data.append(value)
+
+        with COMPSs(n_workers=2) as rt:
+            lst = new_list()
+            bad_append(lst)      # not the last writer when it fails ...
+            append(lst, 5)       # ... this task owns the next version
+            assert compss_wait_on(lst) == [5]
+            assert not rt.failed
+
+
+class TestCancelSuccessorsIsolation:
+    def test_independent_branches_stay_runnable(self):
+        gate = threading.Event()
+
+        @task(returns=1, on_failure=OnFailure.CANCEL_SUCCESSORS)
+        def boom():
+            raise RuntimeError("branch dies")
+
+        @task(returns=1)
+        def follow(x):
+            return x
+
+        @task(returns=1)
+        def slow_ok():
+            gate.wait(timeout=5)
+            return "alive"
+
+        @task(returns=1)
+        def double(x):
+            return x + x
+
+        with COMPSs(n_workers=2) as rt:
+            dead = follow(follow(boom()))
+            # Independent branch submitted *after* the failing one, with
+            # its own depth, must run to completion.
+            alive = double(slow_ok())
+            gate.set()
+            assert compss_wait_on(alive, timeout=8) == "alivealive"
+            with pytest.raises(TaskCancelledError):
+                compss_wait_on(dead)
+            states = rt.graph.counts_by_state()
+            assert states["CANCELLED"] == 2
+            assert states["FAILED"] == 1
+            assert not rt.failed  # no workflow-level error
+
+
+class TestCheckpointRetryStability:
+    """Retries must not shift checkpoint signatures: a signature is
+    drawn once at submit, however many times the task re-executes."""
+
+    def test_second_run_recovers_everything_after_retries(self, tmp_path):
+        failures = []
+        lock = threading.Lock()
+
+        def program(run_calls):
+            @task(returns=1)
+            def seed_value(x):
+                run_calls.append("seed_value")
+                return x
+
+            @task(returns=1, on_failure=OnFailure.RETRY, max_retries=2)
+            def flaky_double(x):
+                run_calls.append("flaky_double")
+                with lock:
+                    if not failures:
+                        failures.append(1)
+                        raise IOError("one-shot failure")
+                return 2 * x
+
+            @task(returns=1)
+            def add(a, b):
+                run_calls.append("add")
+                return a + b
+
+            a = seed_value(3)
+            b = flaky_double(a)
+            return compss_wait_on(add(a, b))
+
+        first_calls = []
+        with COMPSs(n_workers=2, retry_backoff_base=0.0,
+                    checkpoint=CheckpointManager(tmp_path)):
+            assert program(first_calls) == 9
+        # The retry re-executed flaky_double but drew no extra signature.
+        assert first_calls.count("flaky_double") == 2
+
+        second_calls = []
+        with COMPSs(n_workers=2, retry_backoff_base=0.0,
+                    checkpoint=CheckpointManager(tmp_path)) as rt:
+            assert program(second_calls) == 9
+        assert second_calls == []  # nothing re-executed
+        states = rt.graph.counts_by_state()
+        assert states.get("RECOVERED") == 3
+        assert "COMPLETED" not in states

@@ -72,6 +72,10 @@ class TestExamples:
         assert "RETRY:" in out
         assert "recovered from" in out
 
+    # Warnings-as-errors: a 20-day window can contain zero wave cells,
+    # which used to make the spread computation average an empty slice
+    # (NaN + RuntimeWarning).  Keep it locked down.
+    @pytest.mark.filterwarnings("error")
     def test_ensemble_analysis(self, monkeypatch, capsys):
         run_example(
             "ensemble_analysis.py", ["--members", "2", "--days", "20"],
@@ -79,6 +83,7 @@ class TestExamples:
         )
         out = capsys.readouterr().out
         assert "r1i1p1f1" in out and "r2i1p1f1" in out
+        assert "mean spread where waves occur:" in out
 
     def test_percentile_indices(self, monkeypatch, capsys):
         run_example(
