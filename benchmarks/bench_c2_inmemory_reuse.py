@@ -31,6 +31,9 @@ def run_mode(tmp_path, reuse: bool):
         params = WorkflowParams(
             years=YEARS, n_days=15, n_lat=16, n_lon=24, n_workers=4,
             min_length_days=4, with_ml=False, seed=5, reuse_baseline=reuse,
+            # C2 isolates the *application-level* reuse effect; the block
+            # cache would mask the re-import reads (C7 measures that layer).
+            fs_cache_bytes=0,
         )
         summary = run_extreme_events_workflow(cluster, params)
         return summary

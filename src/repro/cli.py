@@ -42,15 +42,35 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
                         help="cluster scratch directory (kept after the run)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="copy the merged Perfetto trace JSON here")
+    parser.add_argument("--worker-cache-mb", type=float, default=None,
+                        metavar="MB",
+                        help="per-worker resident-set budget for task "
+                             "outputs (default 256; 0 disables)")
+    parser.add_argument("--fs-cache-mb", type=float, default=None,
+                        metavar="MB",
+                        help="shared-filesystem block-cache budget "
+                             "(default 64; 0 disables)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the whole in-memory reuse layer "
+                             "(worker resident sets + FS block cache)")
 
 
 def _params_from_args(args) -> "WorkflowParams":
     from repro.workflow import WorkflowParams
 
+    kwargs = {}
+    if args.no_cache:
+        kwargs["worker_cache_bytes"] = 0
+        kwargs["fs_cache_bytes"] = 0
+    else:
+        if args.worker_cache_mb is not None:
+            kwargs["worker_cache_bytes"] = int(args.worker_cache_mb * 2**20)
+        if args.fs_cache_mb is not None:
+            kwargs["fs_cache_bytes"] = int(args.fs_cache_mb * 2**20)
     return WorkflowParams(
         years=args.years, n_days=args.days, n_lat=args.n_lat, n_lon=args.n_lon,
         n_workers=args.workers, scenario=args.scenario, seed=args.seed,
-        min_length_days=args.min_length, with_ml=args.with_ml,
+        min_length_days=args.min_length, with_ml=args.with_ml, **kwargs,
     )
 
 

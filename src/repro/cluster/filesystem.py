@@ -13,8 +13,9 @@ import fnmatch
 import itertools
 import os
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.netcdf import Dataset, read_dataset, write_dataset
 from repro.netcdf.io import read_header
@@ -28,7 +29,13 @@ _fs_ids = itertools.count(0)
 
 @dataclass
 class FilesystemStats:
-    """Cumulative operation counters for a shared filesystem."""
+    """Cumulative operation counters for a shared filesystem.
+
+    ``reads``/``bytes_read`` count *disk* traffic only; reads served
+    from the block cache appear as ``cache_hits`` instead, so the C2
+    "reuse reduces storage reads" comparison stays meaningful.
+    ``metadata_ops`` tallies ``exists``/``size`` probes.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -36,11 +43,17 @@ class FilesystemStats:
     bytes_written: int = 0
     lists: int = 0
     deletes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    metadata_ops: int = 0
 
     def snapshot(self) -> "FilesystemStats":
         return FilesystemStats(
             self.reads, self.writes, self.bytes_read,
             self.bytes_written, self.lists, self.deletes,
+            self.cache_hits, self.cache_misses, self.cache_evictions,
+            self.metadata_ops,
         )
 
     def delta(self, earlier: "FilesystemStats") -> "FilesystemStats":
@@ -52,7 +65,114 @@ class FilesystemStats:
             self.bytes_written - earlier.bytes_written,
             self.lists - earlier.lists,
             self.deletes - earlier.deletes,
+            self.cache_hits - earlier.cache_hits,
+            self.cache_misses - earlier.cache_misses,
+            self.cache_evictions - earlier.cache_evictions,
+            self.metadata_ops - earlier.metadata_ops,
         )
+
+
+class BlockCache:
+    """Byte-budgeted LRU cache of shared-filesystem blocks.
+
+    Two block granularities coexist: whole raw payloads (``read_bytes``)
+    and individual dataset variables (``read``), so two dataset reads
+    that share only *some* variables still reuse the overlap.  Stored
+    values are pristine copies and hits hand out fresh arrays, so
+    callers may mutate results freely.  A per-path metadata side table
+    (dimensions, global attrs, and — once a full read has seen it — the
+    complete variable order) lets a cached dataset be reassembled
+    without touching disk.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 1:
+            raise ValueError("budget_bytes must be >= 1 (0 means: no cache)")
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.Lock()
+        #: key → (value, nbytes); keys are ("var", path, name) or
+        #: ("bytes", path), LRU-ordered oldest first.
+        self._entries: "OrderedDict[Tuple, Tuple[Any, int]]" = OrderedDict()
+        self._by_path: Dict[str, Set[Tuple]] = {}
+        self._meta: Dict[str, Dict[str, Any]] = {}
+        self._resident = 0
+
+    def lookup(self, key: Tuple) -> Optional[Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry[0]
+
+    def store(self, key: Tuple, value: Any, nbytes: int) -> int:
+        """Insert (or refresh) an entry; returns LRU evictions performed.
+
+        A block larger than the whole budget is not cached — admitting
+        it would flush every other entry for a single oversized one.
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.budget_bytes:
+            return 0
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._resident -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._by_path.setdefault(key[1], set()).add(key)
+            self._resident += nbytes
+            while self._resident > self.budget_bytes and self._entries:
+                victim, (_, freed) = self._entries.popitem(last=False)
+                self._resident -= freed
+                keys = self._by_path.get(victim[1])
+                if keys is not None:
+                    keys.discard(victim)
+                    if not keys:
+                        self._by_path.pop(victim[1], None)
+                        self._meta.pop(victim[1], None)
+                evicted += 1
+        return evicted
+
+    def meta(self, path: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._meta.get(path)
+
+    def set_meta(
+        self,
+        path: str,
+        dimensions: Dict[str, int],
+        attrs: Dict[str, Any],
+        var_order: Optional[List[str]],
+    ) -> None:
+        """Record a path's header; a known ``var_order`` is never forgotten."""
+        with self._lock:
+            existing = self._meta.get(path)
+            if var_order is None and existing is not None:
+                var_order = existing.get("var_order")
+            self._meta[path] = {
+                "dimensions": dict(dimensions),
+                "attrs": dict(attrs),
+                "var_order": list(var_order) if var_order is not None else None,
+            }
+
+    def invalidate(self, path: str) -> None:
+        """Drop every block and the metadata of *path* (write/delete)."""
+        with self._lock:
+            for key in self._by_path.pop(path, ()):
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._resident -= entry[1]
+            self._meta.pop(path, None)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class SharedFilesystem:
@@ -63,7 +183,7 @@ class SharedFilesystem:
     space (``output/year_2015/day_001.rnc``).
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, cache_bytes: int = 0) -> None:
         self.root = os.path.abspath(os.fspath(root))
         os.makedirs(self.root, exist_ok=True)
         self._lock = threading.Lock()
@@ -73,6 +193,27 @@ class SharedFilesystem:
         #: ``before_op(op, path, fs=...)`` is consulted ahead of every
         #: data operation and may raise to simulate flaky storage.
         self.fault_injector = None
+        #: Optional in-memory block cache in front of ``read``/
+        #: ``read_bytes`` (the node-local page-cache analogue the reuse
+        #: layer measures); ``cache_bytes=0`` disables it.
+        self._cache: Optional[BlockCache] = None
+        self.configure_cache(cache_bytes)
+
+    def configure_cache(self, cache_bytes: int) -> None:
+        """(Re)size the read block cache; ``0`` disables and drops it.
+
+        Resizing always starts from an empty cache — simpler than
+        partial eviction and exactly what workflow start-up (the only
+        caller) needs.
+        """
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be >= 0")
+        self._cache = BlockCache(cache_bytes) if cache_bytes else None
+
+    @property
+    def cache(self) -> Optional[BlockCache]:
+        """The live block cache, or ``None`` when caching is off."""
+        return self._cache
 
     # -- fault injection -----------------------------------------------------
 
@@ -100,6 +241,28 @@ class SharedFilesystem:
                 labels=("fs",),
             ).inc(nbytes_written, fs=self.fs_label)
 
+    def _record_cache(self, hit: bool, nbytes_served: int = 0,
+                      evictions: int = 0) -> None:
+        registry = get_registry()
+        name = "fs_cache_hits_total" if hit else "fs_cache_misses_total"
+        help_ = (
+            "Reads fully served by the filesystem block cache" if hit
+            else "Reads that had to touch disk despite the block cache"
+        )
+        registry.counter(name, help_, labels=("fs",)).inc(fs=self.fs_label)
+        if nbytes_served:
+            registry.counter(
+                "fs_cache_bytes_served_total",
+                "Bytes served from the filesystem block cache",
+                labels=("fs",),
+            ).inc(nbytes_served, fs=self.fs_label)
+        if evictions:
+            registry.counter(
+                "fs_cache_evictions_total",
+                "Block-cache entries evicted under the byte budget",
+                labels=("fs",),
+            ).inc(evictions, fs=self.fs_label)
+
     @property
     def stats(self) -> FilesystemStats:
         """This instance's counters, as a view over the shared registry.
@@ -121,6 +284,9 @@ class SharedFilesystem:
         writes = sum(
             ops.value(fs=self.fs_label, op=op) for op in ("write", "write_bytes")
         )
+        metadata_ops = sum(
+            ops.value(fs=self.fs_label, op=op) for op in ("exists", "size")
+        )
         return FilesystemStats(
             reads=int(reads),
             writes=int(writes),
@@ -130,6 +296,13 @@ class SharedFilesystem:
                 "fs_bytes_written_total", fs=self.fs_label)),
             lists=int(ops.value(fs=self.fs_label, op="list")),
             deletes=int(ops.value(fs=self.fs_label, op="delete")),
+            cache_hits=int(registry.counter_value(
+                "fs_cache_hits_total", fs=self.fs_label)),
+            cache_misses=int(registry.counter_value(
+                "fs_cache_misses_total", fs=self.fs_label)),
+            cache_evictions=int(registry.counter_value(
+                "fs_cache_evictions_total", fs=self.fs_label)),
+            metadata_ops=int(metadata_ops),
         )
 
     # -- path handling -----------------------------------------------------
@@ -155,19 +328,98 @@ class SharedFilesystem:
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             nbytes = write_dataset(dataset, full)
             h.set_attr("nbytes", nbytes)
+        if self._cache is not None:
+            self._cache.invalidate(rel_path)
         self._count("write", nbytes_written=nbytes)
         return nbytes
 
     def read(self, rel_path: str, variables=None) -> Dataset:
-        """Read an RNC dataset (optionally a variable subset)."""
+        """Read an RNC dataset (optionally a variable subset).
+
+        With the block cache enabled, variables already resident are
+        served from memory and only the remainder touches disk; the
+        fault hook still fires on every call (a cache on a crashed node
+        is just as dead as its disks), and only actual disk traffic
+        counts towards ``reads``/``bytes_read``.
+        """
         full = self._resolve(rel_path)
         self._maybe_fault("read", rel_path)
+        cache = self._cache
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
-            ds = read_dataset(full, variables=variables)
+            if cache is None:
+                ds = read_dataset(full, variables=variables)
+                h.set_attr("nbytes", ds.nbytes)
+                self._count("read", nbytes_read=ds.nbytes)
+                return ds
+            ds, disk_nbytes, served_nbytes, touched_disk, evictions = (
+                self._read_through_cache(cache, full, rel_path, variables)
+            )
             h.set_attr("nbytes", ds.nbytes)
-        self._count("read", nbytes_read=ds.nbytes)
+            h.set_attr("cache", "miss" if touched_disk else "hit")
+        if touched_disk:
+            self._count("read", nbytes_read=disk_nbytes)
+        else:
+            self._count("read_cached")
+        self._record_cache(hit=not touched_disk, nbytes_served=served_nbytes,
+                           evictions=evictions)
         return ds
+
+    def _read_through_cache(
+        self, cache: BlockCache, full: str, rel_path: str, variables
+    ) -> "tuple[Dataset, int, int, bool, int]":
+        """Assemble a dataset from cached variables plus a disk remainder.
+
+        Returns ``(dataset, disk_nbytes, served_nbytes, touched_disk,
+        evictions)``.
+        """
+        meta = cache.meta(rel_path)
+        if variables is None:
+            wanted = None if meta is None else meta.get("var_order")
+        else:
+            wanted = list(variables)
+        if meta is None or wanted is None:
+            # Unknown header (or unknown full variable order): one real
+            # read primes the cache for everything that follows.
+            ds = read_dataset(full, variables=variables)
+            cache.set_meta(
+                rel_path, dict(ds.dimensions), dict(ds.attrs),
+                list(ds.variables) if variables is None else None,
+            )
+            evicted = 0
+            for name, var in ds.variables.items():
+                evicted += cache.store(("var", rel_path, name),
+                                       var.copy(), var.nbytes)
+            return ds, ds.nbytes, 0, True, evicted
+        cached_vars: Dict[str, Any] = {}
+        missing: List[str] = []
+        for name in wanted:
+            var = cache.lookup(("var", rel_path, name))
+            if var is None:
+                missing.append(name)
+            else:
+                cached_vars[name] = var
+        disk = None
+        evicted = 0
+        if missing:
+            disk = read_dataset(full, variables=missing)
+            for name in missing:
+                var = disk[name]
+                evicted += cache.store(("var", rel_path, name),
+                                       var.copy(), var.nbytes)
+        out = Dataset(dict(meta["attrs"]))
+        for dim, size in meta["dimensions"].items():
+            out.create_dimension(dim, size)
+        served = 0
+        for name in wanted:
+            if name in cached_vars:
+                fresh = cached_vars[name].copy()
+                served += fresh.nbytes
+            else:
+                fresh = disk[name]
+            out.create_variable(name, fresh.data, fresh.dims, fresh.attrs)
+        return (out, (disk.nbytes if disk is not None else 0), served,
+                bool(missing), evicted)
 
     def read_header(self, rel_path: str) -> dict:
         """Read only the metadata header; counts as a (cheap) read."""
@@ -188,24 +440,44 @@ class SharedFilesystem:
                                "nbytes": len(payload)}):
             with open(full, "wb") as fh:
                 n = fh.write(payload)
+        if self._cache is not None:
+            self._cache.invalidate(rel_path)
         self._count("write_bytes", nbytes_written=n)
         return n
 
     def read_bytes(self, rel_path: str) -> bytes:
         full = self._resolve(rel_path)
         self._maybe_fault("read_bytes", rel_path)
+        cache = self._cache
+        if cache is not None:
+            payload = cache.lookup(("bytes", rel_path))
+            if payload is not None:
+                with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
+                                attrs={"fs": self.fs_label, "path": rel_path,
+                                       "nbytes": len(payload),
+                                       "cache": "hit"}):
+                    pass
+                self._count("read_cached")
+                self._record_cache(hit=True, nbytes_served=len(payload))
+                return payload
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             with open(full, "rb") as fh:
                 payload = fh.read()
             h.set_attr("nbytes", len(payload))
         self._count("read_bytes", nbytes_read=len(payload))
+        if cache is not None:
+            evicted = cache.store(("bytes", rel_path), payload, len(payload))
+            self._record_cache(hit=False, evictions=evicted)
         return payload
 
     # -- namespace ops ---------------------------------------------------------
 
     def exists(self, rel_path: str) -> bool:
-        return os.path.exists(self._resolve(rel_path))
+        full = self._resolve(rel_path)
+        self._maybe_fault("exists", rel_path)
+        self._count("exists")
+        return os.path.exists(full)
 
     def makedirs(self, rel_path: str) -> None:
         os.makedirs(self._resolve(rel_path), exist_ok=True)
@@ -227,8 +499,14 @@ class SharedFilesystem:
 
     def delete(self, rel_path: str) -> None:
         full = self._resolve(rel_path)
+        self._maybe_fault("delete", rel_path)
         os.remove(full)
+        if self._cache is not None:
+            self._cache.invalidate(rel_path)
         self._count("delete")
 
     def size(self, rel_path: str) -> int:
-        return os.path.getsize(self._resolve(rel_path))
+        full = self._resolve(rel_path)
+        self._maybe_fault("size", rel_path)
+        self._count("size")
+        return os.path.getsize(full)

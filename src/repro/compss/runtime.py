@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.compss.checkpoint import CheckpointManager
+from repro.compss.datacache import WorkerDataCache
 from repro.compss.failures import OnFailure, TaskCancelledError, TaskFailedError
 from repro.compss.future import Future
 from repro.compss.parameter import Direction
@@ -101,6 +102,14 @@ class RuntimeConfig:
     fault_injector:
         Optional chaos hook consulted before each task execution; see
         :func:`set_task_fault_injector` for the process-wide variant.
+    worker_cache_bytes:
+        Per-worker resident-set budget for task outputs.  With a
+        positive budget, a remote predecessor's output is charged as a
+        transfer only on its *first* consumption on a given worker;
+        later consumers on that worker are in-memory cache hits (the
+        paper's "data could be kept in memory" reuse).  ``0`` (the
+        default) keeps the historical charge-every-consumption
+        accounting.
     """
 
     n_workers: int = 4
@@ -120,10 +129,13 @@ class RuntimeConfig:
     # by long-running tasks that transitively wait on the retrying one.
     blacklist_grace_s: float = 0.5
     fault_injector: Optional[Any] = None
+    worker_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if self.worker_cache_bytes < 0:
+            raise ValueError("worker_cache_bytes must be >= 0")
         if self.computing_units is None:
             self.computing_units = self.n_workers
         if self.computing_units < 1:
@@ -163,13 +175,18 @@ class COMPSsRuntime:
         self._shutdown = False
         self._active_tasks = 0
         #: Data-movement accounting: a dependency consumed on the worker
-        #: that produced it is a "local hit"; otherwise the producer's
-        #: estimated output size counts as transferred (§3: "data could
-        #: be kept in memory and moved to other nodes as the workflow
-        #: progresses").
+        #: that produced it is a "local hit"; a dependency already in the
+        #: worker's resident set is a "cache hit"; otherwise the
+        #: producer's estimated output size counts as transferred (§3:
+        #: "data could be kept in memory and moved to other nodes as the
+        #: workflow progresses").
         self.transfer_stats: Dict[str, int] = {
             "local_hits": 0, "remote_transfers": 0, "bytes_transferred": 0,
+            "cache_hits": 0, "cache_misses": 0, "cache_evictions": 0,
+            "bytes_saved": 0,
         }
+        #: Per-worker resident sets backing the reuse accounting above.
+        self.data_cache = WorkerDataCache(self.config.worker_cache_bytes)
 
         self._workers = [
             threading.Thread(
@@ -368,44 +385,103 @@ class COMPSsRuntime:
             self._ready.remove(chosen)
         return chosen
 
-    def _account_transfers(self, node: TaskNode, worker_id: int) -> int:
-        """Charge inter-worker movement for this task's dependencies.
+    def _plan_transfers(
+        self, node: TaskNode, worker_id: int
+    ) -> Tuple[int, List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """Classify this task's dependencies for *worker_id*, mutating nothing.
 
-        Returns the number of remote (inter-worker) dependencies, which
-        the fault injector uses to decide transfer-failure eligibility.
+        Returns ``(local, cache_hits, fetches)`` where *local* counts
+        dependencies produced on this worker and the two lists hold
+        ``(producer id, nbytes)`` pairs: *cache_hits* are remote outputs
+        already resident on the worker, *fetches* must actually move.
+        Planning is separated from :meth:`_commit_transfers` so a
+        dispatch aborted by the fault injector charges nothing and
+        caches nothing.
         """
-        local = remote = moved = 0
+        local = 0
+        remote: List[Tuple[int, int]] = []
         for pred_id in self.graph.predecessors(node.task_id):
             pred = self.graph.task(pred_id)
             if pred.worker_id is None or pred.worker_id == worker_id:
                 local += 1
             else:
-                remote += 1
-                moved += pred.result_nbytes
+                remote.append((pred_id, pred.result_nbytes))
+        cache_hits, fetches = self.data_cache.split(worker_id, remote)
+        return local, cache_hits, fetches
+
+    def _commit_transfers(
+        self,
+        node: TaskNode,
+        worker_id: int,
+        plan: Tuple[int, List[Tuple[int, int]], List[Tuple[int, int]]],
+    ) -> None:
+        """Charge the planned movement and admit fetched outputs."""
+        local, cache_hits, fetches = plan
+        moved = sum(nbytes for _, nbytes in fetches)
+        saved = sum(nbytes for _, nbytes in cache_hits)
+        evicted = self.data_cache.commit(worker_id, cache_hits, fetches)
+        cache_enabled = self.data_cache.enabled
         with self._lock:
             self.transfer_stats["local_hits"] += local
-            self.transfer_stats["remote_transfers"] += remote
+            self.transfer_stats["remote_transfers"] += len(fetches)
             self.transfer_stats["bytes_transferred"] += moved
+            self.transfer_stats["cache_hits"] += len(cache_hits)
+            if cache_enabled:
+                self.transfer_stats["cache_misses"] += len(fetches)
+            self.transfer_stats["cache_evictions"] += evicted
+            self.transfer_stats["bytes_saved"] += saved
         registry = get_registry()
         transfers = registry.counter(
             "compss_transfers_total",
-            "Dependency placements by kind (local hit vs inter-worker move)",
+            "Dependency placements by kind (local hit, resident-set "
+            "cache hit, or inter-worker move)",
             labels=("kind",),
         )
         if local:
             transfers.inc(local, kind="local_hit")
-        if remote:
-            transfers.inc(remote, kind="remote")
+        if cache_hits:
+            transfers.inc(len(cache_hits), kind="cache_hit")
+        if fetches:
+            transfers.inc(len(fetches), kind="remote")
         if moved:
             registry.counter(
                 "compss_transfer_bytes_total",
                 "Bytes moved between workers for dependencies",
             ).inc(moved)
-        return remote
+        if cache_enabled:
+            registry.counter(
+                "compss_cache_hits_total",
+                "Remote dependencies served from worker resident sets",
+            ).inc(len(cache_hits))
+            registry.counter(
+                "compss_cache_misses_total",
+                "Remote dependencies absent from worker resident sets",
+            ).inc(len(fetches))
+        if saved:
+            registry.counter(
+                "compss_transfer_bytes_saved_total",
+                "Bytes not re-transferred thanks to worker resident sets",
+            ).inc(saved)
+        if evicted:
+            registry.counter(
+                "compss_cache_evictions_total",
+                "Resident-set entries evicted under the byte budget",
+            ).inc(evicted)
+
+    #: Containers deeper than this stop contributing to the estimate; at
+    #: 32 levels the residual payload is negligible for any real task
+    #: result, and shared references are counted once anyway.
+    _ESTIMATE_MAX_DEPTH = 32
 
     @staticmethod
-    def _estimate_nbytes(value: Any, depth: int = 0) -> int:
-        """Rough payload size of a task result (arrays dominate)."""
+    def _estimate_nbytes(value: Any, depth: int = 0, _seen: Optional[set] = None) -> int:
+        """Rough payload size of a task result (arrays dominate).
+
+        Recurses through nested containers (a per-year list of daily
+        maps is a real task payload here) with identity-based cycle
+        protection; an object reachable through several aliases is
+        charged once, matching its actual memory footprint.
+        """
         import sys as _sys
 
         nbytes = getattr(value, "nbytes", None)
@@ -414,14 +490,19 @@ class COMPSsRuntime:
                 return int(nbytes)
             except (TypeError, ValueError):
                 pass
-        if isinstance(value, (list, tuple)) and depth < 2:
+        if (
+            isinstance(value, (list, tuple, dict))
+            and depth < COMPSsRuntime._ESTIMATE_MAX_DEPTH
+        ):
+            if _seen is None:
+                _seen = set()
+            if id(value) in _seen:
+                return 0
+            _seen.add(id(value))
+            items = value.values() if isinstance(value, dict) else value
             return sum(
-                COMPSsRuntime._estimate_nbytes(v, depth + 1) for v in value
-            )
-        if isinstance(value, dict) and depth < 2:
-            return sum(
-                COMPSsRuntime._estimate_nbytes(v, depth + 1)
-                for v in value.values()
+                COMPSsRuntime._estimate_nbytes(v, depth + 1, _seen)
+                for v in items
             )
         try:
             return _sys.getsizeof(value)
@@ -451,15 +532,19 @@ class COMPSsRuntime:
                 attrs={"task_id": node.task_id, "worker_id": worker_id,
                        "attempt": node.attempts},
             ) as handle:
-                remote_deps = self._account_transfers(node, worker_id)
+                transfer_plan = self._plan_transfers(node, worker_id)
                 start = self.tracer.now()
                 try:
                     injector = self.config.fault_injector or _ambient_fault_injector
                     if injector is not None:
+                        # Resident-set hits never touch the network, so
+                        # only the planned fetches are eligible for
+                        # injected transfer failures.
                         injector.before_task(
                             node.func_name, node.task_id, worker_id,
-                            node.attempts, remote_deps=remote_deps,
+                            node.attempts, remote_deps=len(transfer_plan[2]),
                         )
+                    self._commit_transfers(node, worker_id, transfer_plan)
                     mat_args = tuple(self._materialise(a) for a in node.args)
                     mat_kwargs = {
                         k: self._materialise(v) for k, v in node.kwargs.items()

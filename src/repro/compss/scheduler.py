@@ -70,7 +70,9 @@ class PriorityPolicy(SchedulerPolicy):
 class DataLocalityPolicy(SchedulerPolicy):
     """Prefer tasks with the most predecessors executed on this worker.
 
-    Falls back to FIFO among equally-local candidates, so the policy
+    The ``priority=True`` hint still dominates — a priority task is
+    never starved behind local low-priority work — then locality breaks
+    ties, then FIFO among equally-local candidates, so the policy
     degenerates gracefully on dependency-free workloads.
     """
 
@@ -89,7 +91,9 @@ class DataLocalityPolicy(SchedulerPolicy):
 
         idx = max(
             range(len(ready)),
-            key=lambda i: (locality(ready[i]), -ready[i].submit_order),
+            key=lambda i: (
+                ready[i].priority, locality(ready[i]), -ready[i].submit_order
+            ),
         )
         return ready.pop(idx)
 

@@ -14,10 +14,15 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 #: Filesystem operations eligible for error injection by default.
-#: Metadata ops (list/exists) are excluded: real GPFS flakiness shows up
-#: on data movement, and failing ``listdir`` would break stream polling
-#: loops that sit outside any retry scope.
-DEFAULT_FS_OPS = ("read", "write", "read_bytes", "write_bytes", "read_header")
+#: Namespace probes (list/exists/size) are excluded: real GPFS flakiness
+#: shows up on data movement, and failing ``listdir`` would break stream
+#: polling loops that sit outside any retry scope.  They *are*
+#: injectable when listed explicitly in ``FaultPlan.fs_ops`` — every op
+#: now routes through the fault hook.  ``delete`` mutates namespace
+#: state like a write, so it is fair game by default.
+DEFAULT_FS_OPS = (
+    "read", "write", "read_bytes", "write_bytes", "read_header", "delete",
+)
 
 
 @dataclass(frozen=True)

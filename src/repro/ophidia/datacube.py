@@ -123,6 +123,21 @@ class Cube:
     def nfrag(self) -> int:
         return len(self._fragments)
 
+    @property
+    def nbytes(self) -> int:
+        """Resident payload size across this cube's fragments.
+
+        Used by the COMPSs transfer estimator: a task returning a cube
+        "moves" the cube payload when consumed on another worker.  A
+        deleted cube holds nothing, so it reports 0 rather than raising
+        (size estimation must never fail a completing task).  The peek
+        does not count as a fragment read.
+        """
+        if self._deleted:
+            return 0
+        pool = self._server.pool
+        return sum(pool.fragment_nbytes(r.fragment_id) for r in self._fragments)
+
     def _axis(self, dim: str) -> int:
         try:
             return self.dim_names.index(dim)

@@ -87,6 +87,17 @@ class IOServer:
         with self._lock:
             return fragment_id in self._fragments
 
+    def fragment_nbytes(self, fragment_id: int) -> int:
+        """Size of one fragment, *without* counting a read.
+
+        Accounting peek used by :attr:`Cube.nbytes`: size queries must
+        not inflate the fragment-read statistics the experiments
+        compare.  Unknown fragments report 0.
+        """
+        with self._lock:
+            data = self._fragments.get(fragment_id)
+            return 0 if data is None else int(data.nbytes)
+
     @property
     def n_fragments(self) -> int:
         with self._lock:
@@ -147,6 +158,12 @@ class StoragePool:
             server = self._placement.pop(fragment_id, None)
         if server is not None:
             server.delete(fragment_id)
+
+    def fragment_nbytes(self, fragment_id: int) -> int:
+        """Non-counting size peek; 0 for unknown/deleted fragments."""
+        with self._lock:
+            server = self._placement.get(fragment_id)
+        return 0 if server is None else server.fragment_nbytes(fragment_id)
 
     def delete_many(self, fragment_ids: Sequence[int]) -> None:
         for fid in fragment_ids:

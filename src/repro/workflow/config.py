@@ -37,6 +37,13 @@ class WorkflowParams:
     tc_target_grid: Tuple[int, int] = (32, 64)
 
     reuse_baseline: bool = True      # C2 ablation knob
+    #: Per-worker COMPSs resident-set budget (bytes): a remote
+    #: predecessor's output is charged as a transfer only on its first
+    #: consumption per worker.  0 disables the reuse accounting.
+    worker_cache_bytes: int = 256 * 1024 * 1024
+    #: Shared-filesystem block-cache budget (bytes): repeated reads of
+    #: the same daily file are served from memory.  0 disables it.
+    fs_cache_bytes: int = 64 * 1024 * 1024
     #: When True, analytics are submitted only after the simulation task
     #: completes — the no-streaming-overlap baseline of experiment C1.
     sequential: bool = False
@@ -59,6 +66,8 @@ class WorkflowParams:
             raise ValueError("min_length_days cannot exceed n_days")
         if self.tc_target_grid[0] % self.tc_patch or self.tc_target_grid[1] % self.tc_patch:
             raise ValueError("tc_target_grid must be divisible by tc_patch")
+        if self.worker_cache_bytes < 0 or self.fs_cache_bytes < 0:
+            raise ValueError("cache byte budgets must be non-negative")
 
     @classmethod
     def from_dict(cls, params: Dict[str, Any]) -> "WorkflowParams":

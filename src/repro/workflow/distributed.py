@@ -79,6 +79,10 @@ def run_distributed_extreme_events(
             p.tc_model_path, p.tc_patch, ana.filesystem.path("models")
         )
 
+    # The analytics site serves the repeated daily-file reads, so that
+    # is where the block cache pays off (the WAN staging already
+    # deduplicates transfers between the sites).
+    ana.filesystem.configure_cache(p.fs_cache_bytes)
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores,
         filesystem=ana.filesystem,
@@ -99,7 +103,8 @@ def run_distributed_extreme_events(
             attrs={"years": len(p.years), "n_days": p.n_days,
                    "sites": len(federation.sites)},
         ) as root, COMPSs(
-            n_workers=p.n_workers, scheduler=policy_by_name(p.scheduler)
+            n_workers=p.n_workers, scheduler=policy_by_name(p.scheduler),
+            worker_cache_bytes=p.worker_cache_bytes,
         ) as runtime:
             summary["trace_id"] = root.context.trace_id
             truth_f = tasks.esm_simulation(

@@ -59,6 +59,32 @@ def collect_entities(
     return entities
 
 
+#: Run bookkeeping written next to the science; timings and trace ids
+#: differ between otherwise identical runs, so equivalence checks skip them.
+_NON_SCIENCE_FILES = {
+    "trace.json", "metrics.json", "metrics.prom", "run_summary.json",
+    "provenance.json", "task_graph.dot",
+}
+
+
+def science_digests(
+    filesystem: SharedFilesystem, results_dir: str = "results"
+) -> Dict[str, str]:
+    """Content digests of the science artifacts under *results_dir*.
+
+    Excludes run bookkeeping (traces, metrics, summaries) so two runs
+    that differ only in scheduling or caching — but not in science —
+    produce identical digest maps.  Used by the cache-equivalence tests
+    and the C7 benchmark to prove the reuse layer is byte-transparent.
+    """
+    digests: Dict[str, str] = {}
+    for name in filesystem.listdir(results_dir):
+        if name in _NON_SCIENCE_FILES or name.endswith(".tmp"):
+            continue
+        digests[name] = _digest(filesystem.read_bytes(f"{results_dir}/{name}"))
+    return digests
+
+
 def collect_activities(runtime: COMPSsRuntime) -> List[Dict[str, Any]]:
     """One PROV activity per task, joined with its trace events."""
     events_by_task: Dict[int, List] = {}

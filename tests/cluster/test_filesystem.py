@@ -91,3 +91,59 @@ class TestNamespace:
         assert "x" in header["variables"]
         assert fs.stats.reads == 1
         assert fs.stats.bytes_read == 0
+
+
+class _RecordingInjector:
+    """Captures every op offered to the fault hook; raises on demand."""
+
+    def __init__(self, fail_ops=()):
+        self.ops = []
+        self.fail_ops = set(fail_ops)
+
+    def before_op(self, op, path, fs=None):
+        self.ops.append((op, path))
+        if op in self.fail_ops:
+            raise OSError(f"injected fault on {op}")
+
+
+class TestMetadataOps:
+    """exists/size/delete must be visible to stats and chaos alike."""
+
+    def test_exists_and_size_are_counted(self, tmp_path):
+        fs = SharedFilesystem(tmp_path)
+        fs.write_bytes("f.bin", b"abc")
+        before = fs.stats.snapshot()
+        assert fs.exists("f.bin")
+        assert not fs.exists("nope.bin")
+        assert fs.size("f.bin") == 3
+        assert fs.stats.delta(before).metadata_ops == 3
+
+    def test_exists_size_delete_route_through_fault_hook(self, tmp_path):
+        fs = SharedFilesystem(tmp_path)
+        fs.write_bytes("f.bin", b"abc")
+        injector = _RecordingInjector()
+        fs.fault_injector = injector
+        fs.exists("f.bin")
+        fs.size("f.bin")
+        fs.delete("f.bin")
+        assert [op for op, _ in injector.ops] == ["exists", "size", "delete"]
+
+    def test_injected_delete_fault_keeps_the_file(self, tmp_path):
+        fs = SharedFilesystem(tmp_path)
+        fs.write_bytes("f.bin", b"abc")
+        fs.fault_injector = _RecordingInjector(fail_ops={"delete"})
+        deletes_before = fs.stats.deletes
+        with pytest.raises(OSError):
+            fs.delete("f.bin")
+        fs.fault_injector = None
+        assert fs.exists("f.bin")
+        assert fs.stats.deletes == deletes_before
+
+    def test_delete_is_injectable_by_default_plan(self):
+        from repro.faults.plan import DEFAULT_FS_OPS
+
+        assert "delete" in DEFAULT_FS_OPS
+        # Namespace probes stay opt-in: failing every exists() would
+        # break polling loops outside any retry scope.
+        assert "exists" not in DEFAULT_FS_OPS
+        assert "size" not in DEFAULT_FS_OPS

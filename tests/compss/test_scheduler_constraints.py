@@ -57,6 +57,34 @@ class TestPolicies:
         ready = [c1, c2]
         assert policy.select(ready, 1, g).task_id == 4  # pred ran on worker 1
 
+    def test_locality_respects_priority(self):
+        """Regression: a ``priority=True`` task must beat a better-placed
+        non-priority one — locality only breaks ties within a priority
+        class."""
+        g = TaskGraph()
+        p1, p2 = _mk_node(1, "src"), _mk_node(2, "src")
+        p1.worker_id, p2.worker_id = 0, 1
+        g.add_task(p1, ())
+        g.add_task(p2, ())
+        local = _mk_node(3, "use")             # pred on worker 1: local
+        urgent = _mk_node(4, "use", priority=True)  # pred on worker 0: remote
+        g.add_task(local, [2])
+        g.add_task(urgent, [1])
+        policy = DataLocalityPolicy()
+        ready = [local, urgent]
+        assert policy.select(ready, 1, g).task_id == 4
+        # Priority drained: now locality decides again.
+        assert policy.select([local], 1, g).task_id == 3
+
+    def test_locality_ties_break_by_submit_order(self):
+        g = TaskGraph()
+        a = _mk_node(1, "use", order=7)
+        b = _mk_node(2, "use", order=3)
+        g.add_task(a, ())
+        g.add_task(b, ())
+        policy = DataLocalityPolicy()
+        assert policy.select([a, b], 0, g).task_id == 2
+
     def test_empty_ready_returns_none(self):
         g = TaskGraph()
         for policy in (FIFOPolicy(), PriorityPolicy(), DataLocalityPolicy()):

@@ -1,0 +1,136 @@
+"""Property-based scheduler tests: no ready task is lost or duplicated.
+
+Every policy's ``select`` is a destructive pop from the shared ready
+list, called under the runtime lock by whichever worker wakes first.
+Whatever the mix of priorities, submit orders and worker placements,
+draining the ready list through a policy must yield each task exactly
+once — a policy that drops or double-schedules a task corrupts the
+whole run.  The end-to-end properties re-check the same invariant
+through ``_select_runnable`` with real worker threads racing.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compss import (
+    COMPSs,
+    DataLocalityPolicy,
+    FIFOPolicy,
+    PriorityPolicy,
+    compss_wait_on,
+    task,
+)
+from repro.compss.failures import OnFailure
+from repro.compss.task_graph import TaskGraph, TaskNode
+
+POLICIES = [FIFOPolicy, PriorityPolicy, DataLocalityPolicy]
+
+
+@st.composite
+def ready_pools(draw):
+    """A randomized ready list over a graph with placed predecessors."""
+    n_producers = draw(st.integers(0, 3))
+    n_ready = draw(st.integers(1, 12))
+    n_workers = draw(st.integers(1, 4))
+    graph = TaskGraph()
+    producer_ids = []
+    for i in range(n_producers):
+        producer = TaskNode(
+            i + 1, "src", lambda: None, (), {}, 0, (), OnFailure.FAIL, 0
+        )
+        producer.submit_order = i + 1
+        producer.worker_id = draw(st.integers(0, n_workers - 1))
+        graph.add_task(producer, ())
+        producer_ids.append(producer.task_id)
+    ready = []
+    for i in range(n_ready):
+        task_id = n_producers + i + 1
+        node = TaskNode(
+            task_id, "use", lambda: None, (), {}, 0, (), OnFailure.FAIL, 0,
+            priority=draw(st.booleans()),
+        )
+        node.submit_order = draw(st.integers(0, 100))
+        deps = draw(
+            st.lists(st.sampled_from(producer_ids), unique=True)
+        ) if producer_ids else []
+        graph.add_task(node, deps)
+        ready.append(node)
+    return graph, ready, n_workers
+
+
+class TestPolicyDrainProperties:
+    @pytest.mark.parametrize("policy_cls", POLICIES)
+    @given(pool=ready_pools())
+    @settings(max_examples=30, deadline=None)
+    def test_drain_yields_each_task_exactly_once(self, policy_cls, pool):
+        graph, ready, n_workers = pool
+        expected = sorted(n.task_id for n in ready)
+        policy = policy_cls()
+        picked = []
+        worker = 0
+        while True:
+            node = policy.select(ready, worker % n_workers, graph)
+            if node is None:
+                break
+            picked.append(node.task_id)
+            worker += 1          # alternate requesting workers
+        assert ready == []
+        assert sorted(picked) == expected
+
+    @pytest.mark.parametrize("policy_cls", [PriorityPolicy, DataLocalityPolicy])
+    @given(pool=ready_pools())
+    @settings(max_examples=30, deadline=None)
+    def test_priority_tasks_never_starve_behind_normal_ones(
+        self, policy_cls, pool
+    ):
+        graph, ready, n_workers = pool
+        n_priority = sum(1 for n in ready if n.priority)
+        policy = policy_cls()
+        picked = []
+        worker = 0
+        while ready:
+            picked.append(policy.select(ready, worker % n_workers, graph))
+            worker += 1
+        flags = [n.priority for n in picked]
+        assert all(flags[:n_priority]), (
+            "every priority task must drain before the first normal one"
+        )
+
+
+class TestRuntimeDrainProperties:
+    @pytest.mark.parametrize("policy_cls", POLICIES)
+    @given(n_tasks=st.integers(1, 16), n_workers=st.integers(1, 4),
+           priority_mask=st.integers(0, 2 ** 16 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_concurrent_workers_run_each_task_once(
+        self, policy_cls, n_tasks, n_workers, priority_mask
+    ):
+        """Real worker threads race through ``_select_runnable``; every
+        submitted task completes exactly once under every policy."""
+        runs = []
+        lock = threading.Lock()
+
+        @task(returns=1)
+        def normal(i):
+            with lock:
+                runs.append(i)
+            return i
+
+        @task(returns=1, priority=True)
+        def urgent(i):
+            with lock:
+                runs.append(i)
+            return i
+
+        with COMPSs(n_workers=n_workers, scheduler=policy_cls()) as rt:
+            futures = [
+                (urgent if priority_mask >> i & 1 else normal)(i)
+                for i in range(n_tasks)
+            ]
+            results = compss_wait_on(futures)
+            assert rt.graph.counts_by_state() == {"COMPLETED": n_tasks}
+        assert results == list(range(n_tasks))
+        assert sorted(runs) == list(range(n_tasks))

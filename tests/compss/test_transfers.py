@@ -33,6 +33,27 @@ class TestEstimator:
     def test_unsizable_is_safe(self):
         assert COMPSsRuntime._estimate_nbytes(object()) >= 0
 
+    def test_deeply_nested_containers_fully_counted(self):
+        """A per-year list of per-day dicts of arrays (the workflow's
+        natural result shape) is three levels deep and must not be
+        truncated by a recursion cap."""
+        years = [
+            [{"tmax": np.zeros(5), "tmin": np.zeros(5)} for _ in range(3)]
+            for _ in range(2)
+        ]
+        assert COMPSsRuntime._estimate_nbytes(years) == 2 * 3 * 2 * 5 * 8
+
+    def test_cyclic_container_terminates(self):
+        loop = [np.zeros(4)]
+        loop.append(loop)
+        assert COMPSsRuntime._estimate_nbytes(loop) == 32
+
+    def test_shared_reference_counted_once(self):
+        """Aliases to one list are one allocation: the estimate reflects
+        memory footprint, not traversal count."""
+        shared = [np.zeros(10)]
+        assert COMPSsRuntime._estimate_nbytes([shared, shared]) == 80
+
 
 class TestAccounting:
     def test_single_worker_all_local(self):
