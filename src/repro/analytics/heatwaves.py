@@ -200,7 +200,9 @@ def ophidia_wave_pipeline(
     )
 
     # Intermediates are no longer needed; free I/O-server memory the way
-    # Listing 1 deletes its mask cube.
+    # Listing 1 deletes its mask cube.  On the lazy path `frequency`
+    # still references `wave_days`, so force it before freeing its base.
+    frequency.materialize()
     for cube in (anomaly, mask, duration, qualifying, wave_flags, wave_days):
         cube.delete()
 

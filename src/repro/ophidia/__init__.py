@@ -16,7 +16,13 @@ make that claim measurable (experiment C2).
 """
 
 from repro.ophidia.storage import IOServer, StoragePool, StorageStats
-from repro.ophidia.primitives import evaluate_primitive, PrimitiveError
+from repro.ophidia.primitives import (
+    PrimitiveError,
+    clear_primitive_cache,
+    evaluate_primitive,
+    parse_primitive,
+    primitive_cache_info,
+)
 from repro.ophidia.server import OphidiaServer
 from repro.ophidia.client import Client
 from repro.ophidia.datacube import Cube, DimensionInfo
@@ -26,6 +32,9 @@ __all__ = [
     "StoragePool",
     "StorageStats",
     "evaluate_primitive",
+    "parse_primitive",
+    "primitive_cache_info",
+    "clear_primitive_cache",
     "PrimitiveError",
     "OphidiaServer",
     "Client",

@@ -10,18 +10,52 @@ The method surface mirrors PyOphidia's ``cube.Cube``: ``importnc2``,
 (grouped), ``intercube``, ``subset``, ``merge``, ``exportnc2``,
 ``runlength`` (the consecutive-run operator behind heat-wave durations)
 and metadata management.
+
+Lazy evaluation and operator fusion
+-----------------------------------
+On a lazy server (the default, ``OphidiaServer(lazy=True)``) the
+elementwise operators — ``apply``, ``transform``, ``subset`` along a
+non-fragment dimension, ``runlength`` and ``intercube`` — do not write
+fragments.  Each returns a *plan cube*: a cube whose fragments are
+described by a per-fragment expression (a chain of plan steps rooted at
+a concrete cube) rather than stored arrays.  At a forced-evaluation
+point the whole chain is fused into a single pooled fragment sweep:
+every base fragment is read once, the chain runs in memory, and only
+the terminal result is written (or nothing at all for gather/export
+barriers).
+
+Forced-evaluation points are: ``reduce``/``reduce2``/``percentile``
+(the fused chain streams into the reducer in the same pass), any
+gather (``to_array``, ``merge``, ``subset``/``reduce`` along the
+fragment dimension, ``explore``, ``exportnc2``, misaligned ``concat``
+operands) and the explicit :meth:`Cube.materialize`.
+
+Two further rules keep the lazy path byte- and lifecycle-equivalent to
+eager execution:
+
+* **Reuse materialisation** — when a chain is forced and an ancestor
+  plan cube has already been evaluated once (a shared intermediate like
+  the wave pipeline's qualifying-durations cube), that ancestor is
+  materialised first so its work is not recomputed by every consumer.
+* **Delete transparency** — deleting an unmaterialised plan cube keeps
+  its plan alive for downstream consumers (there is nothing to free);
+  deleting a *base* cube that a pending plan still needs surfaces a
+  ``RuntimeError`` at the forced-evaluation point, and a failing fused
+  sweep writes nothing, so fragment state is never corrupted.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.netcdf import Dataset
-from repro.ophidia.primitives import evaluate_primitive
+from repro.observability.metrics import get_registry
+from repro.ophidia.primitives import evaluate_ast, parse_primitive
 from repro.ophidia.server import OphidiaServer
 
 
@@ -44,6 +78,43 @@ class _FragmentRef:
     fragment_id: int
     start: int
     stop: int
+
+
+@dataclass(frozen=True)
+class _PlanStep:
+    """One deferred elementwise operator in a plan cube's chain.
+
+    ``kind`` selects the compilation rule; ``params`` hold whatever the
+    per-fragment stage needs (parsed AST, callable, slice bounds, the
+    intercube operand).  All plan steps preserve the fragment-dimension
+    bounds, which is what makes chains fusable into one sweep.
+    """
+
+    op: str
+    kind: str
+    params: Tuple[Any, ...]
+
+
+class _AvoidedMeter:
+    """Accumulates intermediate bytes kept in memory during a fused sweep."""
+
+    __slots__ = ("_lock", "total")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, nbytes: int) -> None:
+        with self._lock:
+            self.total += int(nbytes)
+
+
+def _flush_avoided(meter: _AvoidedMeter) -> None:
+    if meter.total:
+        get_registry().counter(
+            "ophidia_materialize_bytes_avoided_total",
+            "Intermediate bytes kept in memory instead of written to the pool",
+        ).inc(meter.total)
 
 
 _REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
@@ -86,17 +157,36 @@ class Cube:
         server: OphidiaServer,
         dims: Sequence[DimensionInfo],
         fragment_dim: str,
-        fragments: Sequence[_FragmentRef],
+        fragments: Optional[Sequence[_FragmentRef]],
         measure: str,
         description: str = "",
         metadata: Optional[Dict[str, Any]] = None,
+        *,
+        plan_input: Optional["Cube"] = None,
+        plan_step: Optional[_PlanStep] = None,
+        bounds: Optional[Sequence[Tuple[int, int]]] = None,
     ) -> None:
         if fragment_dim not in [d.name for d in dims]:
             raise ValueError(f"fragment dim {fragment_dim!r} not among cube dims")
         self._server = server
         self.dims: Tuple[DimensionInfo, ...] = tuple(dims)
         self.fragment_dim = fragment_dim
-        self._fragments: Tuple[_FragmentRef, ...] = tuple(fragments)
+        if fragments is None:
+            if plan_input is None or plan_step is None or bounds is None:
+                raise ValueError(
+                    "plan cube requires plan_input, plan_step and bounds"
+                )
+            self._fragments: Optional[Tuple[_FragmentRef, ...]] = None
+            self._bounds: Tuple[Tuple[int, int], ...] = tuple(
+                (int(s), int(e)) for s, e in bounds
+            )
+        else:
+            self._fragments = tuple(fragments)
+            self._bounds = tuple((r.start, r.stop) for r in self._fragments)
+        self._plan_input = plan_input
+        self._plan_step = plan_step
+        #: Forced-evaluation count; drives materialise-on-reuse.
+        self._evals = 0
         self.measure = measure
         self.description = description
         self.metadata: Dict[str, Any] = dict(metadata or {})
@@ -121,7 +211,12 @@ class Cube:
 
     @property
     def nfrag(self) -> int:
-        return len(self._fragments)
+        return len(self._bounds)
+
+    @property
+    def is_lazy(self) -> bool:
+        """True while this cube is an unmaterialised plan (no fragments stored)."""
+        return self._fragments is None
 
     @property
     def nbytes(self) -> int:
@@ -130,11 +225,16 @@ class Cube:
         Used by the COMPSs transfer estimator: a task returning a cube
         "moves" the cube payload when consumed on another worker.  A
         deleted cube holds nothing, so it reports 0 rather than raising
-        (size estimation must never fail a completing task).  The peek
-        does not count as a fragment read.
+        (size estimation must never fail a completing task).  An
+        unmaterialised plan cube holds no fragments either; its payload
+        is estimated from the shape at 8 bytes/element, since that is
+        what a consumer would move after forcing it.  The peek does not
+        count as a fragment read.
         """
         if self._deleted:
             return 0
+        if self._fragments is None:
+            return int(np.prod(self.shape, dtype=np.int64)) * 8
         pool = self._server.pool
         return sum(pool.fragment_nbytes(r.fragment_id) for r in self._fragments)
 
@@ -251,6 +351,221 @@ class Cube:
         return cls(server, dim_infos, fragment_dim, refs, measure, description)
 
     # ------------------------------------------------------------------
+    # Lazy plan machinery
+    # ------------------------------------------------------------------
+
+    def _lazy_derive(
+        self,
+        step: _PlanStep,
+        new_dims: Sequence[DimensionInfo],
+        description: str,
+        measure: Optional[str] = None,
+    ) -> "Cube":
+        """Defer *step*: return a plan cube chained onto this one."""
+        with self._server.operation(step.op, cube_id=self.cube_id, lazy=True):
+            return Cube(
+                self._server, new_dims, self.fragment_dim, None,
+                measure or self.measure, description, dict(self.metadata),
+                plan_input=self, plan_step=step, bounds=self._bounds,
+            )
+
+    def _plan_chain(self) -> Tuple["Cube", List[Tuple["Cube", _PlanStep]]]:
+        """Walk back to the concrete base; steps are returned base→self.
+
+        Deleted plan cubes are walked *through*: deleting an
+        unmaterialised intermediate frees nothing, so downstream
+        consumers keep evaluating from the base sources (mirroring how
+        eager pipelines delete intermediates without affecting already-
+        derived cubes).
+        """
+        steps: List[Tuple[Cube, _PlanStep]] = []
+        cube: Cube = self
+        while cube._fragments is None:
+            steps.append((cube, cube._plan_step))
+            cube = cube._plan_input
+        steps.reverse()
+        return cube, steps
+
+    def _resolved(self, count_final: bool = True):
+        with self._server._plan_lock:
+            return self._resolved_locked(count_final=count_final)
+
+    def _resolved_locked(
+        self,
+        count_final: bool = True,
+        reuse: bool = True,
+        meter: Optional[_AvoidedMeter] = None,
+    ):
+        """Resolve this cube's chain into ``(refs, chain_fn, meter, ops)``.
+
+        ``refs`` are the concrete base fragments; ``chain_fn(data, i)``
+        runs the fused per-fragment expression (None when the cube is
+        already concrete); ``ops`` names the fused operators in
+        execution order.  *count_final* controls whether the final
+        chain output counts toward avoided-materialisation bytes (it
+        must not when the caller is about to store that output, i.e.
+        :meth:`materialize`).  *reuse* enables materialise-on-reuse and
+        eval counting; it is off while materialising a reused ancestor
+        so one forced chain cannot cascade into materialising every
+        intermediate below it.
+        """
+        meter = meter if meter is not None else _AvoidedMeter()
+        base, steps = self._plan_chain()
+        if base._deleted:
+            raise RuntimeError(f"cube {base.cube_id} has been deleted")
+        if reuse:
+            for cube, _ in reversed(steps[:-1]):
+                if (
+                    cube._evals >= 1
+                    and not cube._deleted
+                    and cube._fragments is None
+                ):
+                    cube._materialize_locked(reason="reuse")
+                    base, steps = self._plan_chain()
+                    break
+            for cube, _ in steps:
+                cube._evals += 1
+        if not steps:
+            return base._fragments, None, meter, []
+
+        pool = self._server.pool
+        frag_axis = base._axis(base.fragment_dim)
+        bounds = self._bounds
+        stages: List[Callable[[np.ndarray, int], np.ndarray]] = []
+        ops: List[str] = []
+        for _, step in steps:
+            ops.append(step.op)
+            if step.kind == "apply":
+                _query, ast = step.params
+                stages.append(
+                    lambda data, i, _ast=ast: evaluate_ast(_ast, data)
+                )
+            elif step.kind == "transform":
+                (fn,) = step.params
+
+                def _transform(data, i, _fn=fn):
+                    out = np.asarray(_fn(data))
+                    if out.shape != data.shape:
+                        raise ValueError(
+                            "transform callable must preserve fragment shape"
+                        )
+                    return out
+
+                stages.append(_transform)
+            elif step.kind == "subset":
+                s_axis, s_start, s_stop = step.params
+
+                def _subset(data, i, _axis=s_axis, _start=s_start, _stop=s_stop):
+                    indexer = [slice(None)] * data.ndim
+                    indexer[_axis] = slice(_start, _stop)
+                    return np.ascontiguousarray(data[tuple(indexer)])
+
+                stages.append(_subset)
+            elif step.kind == "runlength":
+                (r_axis,) = step.params
+                stages.append(
+                    lambda data, i, _axis=r_axis: _run_lengths(data > 0, _axis)
+                )
+            elif step.kind == "intercube":
+                other, op_name = step.params
+                op = _INTERCUBE_OPS[op_name]
+                if (
+                    reuse
+                    and other._fragments is None
+                    and not other._deleted
+                    and other._evals >= 1
+                ):
+                    # Shared operand (e.g. a baseline subset consumed by
+                    # every year): materialise instead of re-streaming.
+                    other._materialize_locked(reason="reuse")
+                if other._deleted and other._fragments is not None:
+                    raise RuntimeError(f"cube {other.cube_id} has been deleted")
+                opool = other._server.pool
+                aligned = (
+                    other.fragment_dim == base.fragment_dim
+                    and other._bounds == bounds
+                )
+                if aligned:
+                    orefs, ofn, _, oops = other._resolved_locked(
+                        count_final=True, reuse=reuse, meter=meter
+                    )
+                    ops.extend(oops)
+
+                    def _intercube(data, i, _orefs=orefs, _ofn=ofn, _op=op):
+                        b = opool.load(_orefs[i].fragment_id)
+                        if _ofn is not None:
+                            b = _ofn(b, i)
+                        return np.asarray(_op(data, b))
+
+                    stages.append(_intercube)
+                else:
+                    other_full = other.to_array()
+
+                    def _intercube_gathered(data, i, _full=other_full, _op=op):
+                        indexer = [slice(None)] * _full.ndim
+                        indexer[frag_axis] = slice(bounds[i][0], bounds[i][1])
+                        return np.asarray(_op(data, _full[tuple(indexer)]))
+
+                    stages.append(_intercube_gathered)
+            else:  # pragma: no cover - steps are built internally
+                raise RuntimeError(f"unknown plan step kind {step.kind!r}")
+
+        last = len(stages) - 1
+
+        def chain_fn(data: np.ndarray, i: int) -> np.ndarray:
+            for k, stage in enumerate(stages):
+                data = stage(data, i)
+                if count_final or k < last:
+                    meter.add(data.nbytes)
+            return data
+
+        return base._fragments, chain_fn, meter, ops
+
+    def materialize(self) -> "Cube":
+        """Force evaluation now, writing this cube's fragments to storage.
+
+        No-op on a concrete cube.  Returns ``self`` so call sites can
+        chain (``cube.materialize().exportnc2(...)``).
+        """
+        self._check_alive()
+        with self._server._plan_lock:
+            self._materialize_locked(reason="explicit")
+        return self
+
+    def _materialize_locked(self, reason: str) -> None:
+        if self._fragments is not None:
+            return
+        refs, chain_fn, meter, ops = self._resolved_locked(
+            count_final=False, reuse=False
+        )
+        pool = self._server.pool
+
+        def work(item):
+            i, ref = item
+            data = pool.load(ref.fragment_id)
+            if chain_fn is not None:
+                data = chain_fn(data, i)
+            return data
+
+        arrays = self._server.sweep(
+            ops + ["oph_materialize"], work, list(enumerate(refs)),
+            cube_id=self.cube_id, reason=reason,
+        )
+        _flush_avoided(meter)
+        self._fragments = tuple(
+            _FragmentRef(pool.store(np.ascontiguousarray(arr)), start, stop)
+            for arr, (start, stop) in zip(arrays, self._bounds)
+        )
+        get_registry().counter(
+            "ophidia_cubes_materialized_total",
+            "Lazy cubes materialised to the storage pool",
+            labels=("reason",),
+        ).inc(reason=reason)
+        self._server.log_operator(
+            "oph_materialize", cube_id=self.cube_id, reason=reason
+        )
+
+    # ------------------------------------------------------------------
     # Core operators
     # ------------------------------------------------------------------
 
@@ -272,19 +587,54 @@ class Cube:
             measure or self.measure, description, dict(self.metadata),
         )
 
+    def _consume(
+        self,
+        terminal_op: str,
+        fn_arr: Callable[[np.ndarray, int], np.ndarray],
+        new_dims: Sequence[DimensionInfo],
+        description: str,
+        measure: Optional[str] = None,
+    ) -> "Cube":
+        """Run the fused chain plus *fn_arr* in one sweep; store the result.
+
+        This is both the eager execution path (empty chain, single
+        operator) and the lazy barrier path (the chain streams into the
+        terminal operator without materialising intermediates).
+        """
+        refs, chain_fn, meter, ops = self._resolved()
+        pool = self._server.pool
+
+        def work(item):
+            i, ref = item
+            data = pool.load(ref.fragment_id)
+            if chain_fn is not None:
+                data = chain_fn(data, i)
+            return fn_arr(data, i)
+
+        arrays = self._server.sweep(
+            ops + [terminal_op], work, list(enumerate(refs)),
+            cube_id=self.cube_id,
+        )
+        _flush_avoided(meter)
+        return self._derive(new_dims, arrays, self._bounds, description, measure)
+
     def apply(self, query: str, description: str = "") -> "Cube":
         """Elementwise transform through an ``oph_*`` primitive expression."""
         self._check_alive()
+        # Parse once per operator call — not per fragment — and surface
+        # malformed queries at the call site even on the lazy path.
+        ast = parse_primitive(query)
         self._server.log_operator("oph_apply", cube_id=self.cube_id, query=query)
-
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
-            return evaluate_primitive(query, data)
-
-        with self._server.operation("oph_apply", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(self.dims, arrays, bounds, description)
+        if self._server.lazy:
+            return self._lazy_derive(
+                _PlanStep("oph_apply", "apply", (query, ast)),
+                self.dims, description,
+            )
+        return self._consume(
+            "oph_apply",
+            lambda data, i: evaluate_ast(ast, data),
+            self.dims, description,
+        )
 
     def transform(
         self, fn: Callable[[np.ndarray], np.ndarray], description: str = ""
@@ -294,18 +644,19 @@ class Cube:
         self._server.log_operator(
             "oph_transform", cube_id=self.cube_id, fn=getattr(fn, "__name__", "fn")
         )
+        if self._server.lazy:
+            return self._lazy_derive(
+                _PlanStep("oph_transform", "transform", (fn,)),
+                self.dims, description,
+            )
 
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
+        def work(data: np.ndarray, i: int) -> np.ndarray:
             out = np.asarray(fn(data))
             if out.shape != data.shape:
                 raise ValueError("transform callable must preserve fragment shape")
             return out
 
-        with self._server.operation("oph_transform", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(self.dims, arrays, bounds, description)
+        return self._consume("oph_transform", work, self.dims, description)
 
     def reduce(
         self, operation: str, dim: str = "time", description: str = ""
@@ -343,14 +694,11 @@ class Cube:
             cube.metadata.update(self.metadata)
             return cube
 
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
-            return np.asarray(reducer(data, axis=axis))
-
-        with self._server.operation("oph_reduce", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(new_dims, arrays, bounds, description)
+        return self._consume(
+            "oph_reduce",
+            lambda data, i: np.asarray(reducer(data, axis=axis)),
+            new_dims, description,
+        )
 
     def percentile(
         self, q: float, dim: str = "time", description: str = ""
@@ -367,14 +715,11 @@ class Cube:
         if dim == self.fragment_dim:
             raise ValueError("percentile along the fragment dim is unsupported")
 
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
-            return np.percentile(data, q, axis=axis)
-
-        with self._server.operation("oph_percentile", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(new_dims, arrays, bounds, description)
+        return self._consume(
+            "oph_percentile",
+            lambda data, i: np.percentile(data, q, axis=axis),
+            new_dims, description,
+        )
 
     def reduce2(
         self,
@@ -406,19 +751,15 @@ class Cube:
             dim=dim, group_size=group_size,
         )
 
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
+        def work(data: np.ndarray, i: int) -> np.ndarray:
             shape = list(data.shape)
             shape[axis:axis + 1] = [n_groups, group_size]
             return np.asarray(reducer(data.reshape(shape), axis=axis + 1))
 
-        with self._server.operation("oph_reduce2", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
         new_dims = [
             d if d.name != dim else d.with_size(n_groups) for d in self.dims
         ]
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(new_dims, arrays, bounds, description)
+        return self._consume("oph_reduce2", work, new_dims, description)
 
     def intercube(
         self, other: "Cube", operation: str = "sub", description: str = ""
@@ -441,33 +782,30 @@ class Cube:
             "oph_intercube", cube_id=self.cube_id, other=other.cube_id,
             operation=operation,
         )
+        if self._server.lazy:
+            return self._lazy_derive(
+                _PlanStep("oph_intercube", "intercube", (other, operation)),
+                self.dims, description,
+            )
         aligned = (
             other.fragment_dim == self.fragment_dim
-            and [(r.start, r.stop) for r in other._fragments]
-            == [(r.start, r.stop) for r in self._fragments]
+            and other._bounds == self._bounds
         )
         axis = self._axis(self.fragment_dim)
         other_full = None if aligned else other.to_array()
+        opool = other._server.pool
 
-        def work(pair) -> np.ndarray:
-            ref, other_ref = pair
-            a = self._server.pool.load(ref.fragment_id)
-            if other_ref is not None:
-                b = other._server.pool.load(other_ref.fragment_id)
+        def work(data: np.ndarray, i: int) -> np.ndarray:
+            if aligned:
+                b = opool.load(other._fragments[i].fragment_id)
             else:
+                start, stop = self._bounds[i]
                 indexer = [slice(None)] * len(self.shape)
-                indexer[axis] = slice(ref.start, ref.stop)
+                indexer[axis] = slice(start, stop)
                 b = other_full[tuple(indexer)]
-            return np.asarray(op(a, b))
+            return np.asarray(op(data, b))
 
-        pairs = [
-            (ref, other._fragments[i] if aligned else None)
-            for i, ref in enumerate(self._fragments)
-        ]
-        with self._server.operation("oph_intercube", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, pairs)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(self.dims, arrays, bounds, description)
+        return self._consume("oph_intercube", work, self.dims, description)
 
     def subset(self, dim: str, start: int, stop: int, description: str = "") -> "Cube":
         """Slice ``[start, stop)`` along *dim* (index space)."""
@@ -494,19 +832,21 @@ class Cube:
             cube.metadata.update(self.metadata)
             return cube
 
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
+        new_dims = [
+            d if d.name != dim else d.with_size(stop - start) for d in self.dims
+        ]
+        if self._server.lazy:
+            return self._lazy_derive(
+                _PlanStep("oph_subset", "subset", (axis, start, stop)),
+                new_dims, description,
+            )
+
+        def work(data: np.ndarray, i: int) -> np.ndarray:
             indexer = [slice(None)] * data.ndim
             indexer[axis] = slice(start, stop)
             return np.ascontiguousarray(data[tuple(indexer)])
 
-        with self._server.operation("oph_subset", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        new_dims = [
-            d if d.name != dim else d.with_size(stop - start) for d in self.dims
-        ]
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(new_dims, arrays, bounds, description)
+        return self._consume("oph_subset", work, new_dims, description)
 
     def runlength(self, dim: str = "time", description: str = "") -> "Cube":
         """Lengths of completed runs of positive values along *dim*.
@@ -523,15 +863,16 @@ class Cube:
             raise ValueError("runlength along the fragment dim is unsupported")
         axis = self._axis(dim)
         self._server.log_operator("oph_runlength", cube_id=self.cube_id, dim=dim)
-
-        def work(ref: _FragmentRef) -> np.ndarray:
-            data = self._server.pool.load(ref.fragment_id)
-            return _run_lengths(data > 0, axis)
-
-        with self._server.operation("oph_runlength", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, self._fragments)
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(self.dims, arrays, bounds, description)
+        if self._server.lazy:
+            return self._lazy_derive(
+                _PlanStep("oph_runlength", "runlength", (axis,)),
+                self.dims, description,
+            )
+        return self._consume(
+            "oph_runlength",
+            lambda data, i: _run_lengths(data > 0, axis),
+            self.dims, description,
+        )
 
     def concat(self, other: "Cube", dim: str = "time",
                description: str = "") -> "Cube":
@@ -539,8 +880,10 @@ class Cube:
 
         The multi-year idiom: each year imports as its own cube and
         concatenates into the projection-length cube.  All non-*dim*
-        dimensions must match.  Fragment-aligned inputs concatenate
-        fragment-parallel; otherwise the right operand is gathered.
+        dimensions must match.  Fragment-aligned concrete inputs
+        concatenate fragment-parallel; otherwise (misaligned bounds, or
+        a plan cube on either side) the operands are gathered — concat
+        is a forced-evaluation barrier for lazy inputs.
         """
         self._check_alive()
         other._check_alive()
@@ -559,10 +902,18 @@ class Cube:
         self._server.log_operator(
             "oph_concatnc", cube_id=self.cube_id, other=other.cube_id, dim=dim
         )
+        if self._fragments is None or other._fragments is None:
+            full = np.concatenate([self.to_array(), other.to_array()], axis=axis)
+            cube = Cube.from_array(
+                full, list(self.dim_names), client=_ServerClient(self._server),
+                fragment_dim=self.fragment_dim, nfrag=self.nfrag,
+                measure=self.measure, description=description,
+            )
+            cube.metadata.update(self.metadata)
+            return cube
         aligned = (
             other.fragment_dim == self.fragment_dim
-            and [(r.start, r.stop) for r in other._fragments]
-            == [(r.start, r.stop) for r in self._fragments]
+            and other._bounds == self._bounds
         )
         frag_axis = self._axis(self.fragment_dim)
         other_full = None if aligned else other.to_array()
@@ -582,14 +933,14 @@ class Cube:
             (ref, other._fragments[i] if aligned else None)
             for i, ref in enumerate(self._fragments)
         ]
-        with self._server.operation("oph_concatnc", cube_id=self.cube_id):
-            arrays = self._server.map_fragments(work, pairs)
+        arrays = self._server.sweep(
+            ["oph_concatnc"], work, pairs, cube_id=self.cube_id
+        )
         new_size = self.dims[axis].size + other.dims[axis].size
         new_dims = [
             d if d.name != dim else d.with_size(new_size) for d in self.dims
         ]
-        bounds = [(r.start, r.stop) for r in self._fragments]
-        return self._derive(new_dims, arrays, bounds, description)
+        return self._derive(new_dims, arrays, self._bounds, description)
 
     def merge(self, description: str = "") -> "Cube":
         """Collapse to a single fragment (Ophidia's OPH_MERGE)."""
@@ -610,12 +961,36 @@ class Cube:
     # ------------------------------------------------------------------
 
     def to_array(self) -> np.ndarray:
-        """Gather all fragments into one in-memory array (client sync)."""
+        """Gather all fragments into one in-memory array (client sync).
+
+        On a plan cube this is a forced-evaluation point: the fused
+        chain streams into the gather without writing any fragments.
+        """
         self._check_alive()
         axis = self._axis(self.fragment_dim)
-        parts = self._server.map_fragments(
-            lambda ref: self._server.pool.load(ref.fragment_id), self._fragments
-        )
+        if self._fragments is not None:
+            parts = self._server.map_fragments(
+                lambda ref: self._server.pool.load(ref.fragment_id),
+                self._fragments,
+            )
+        else:
+            refs, chain_fn, meter, ops = self._resolved()
+            pool = self._server.pool
+
+            def work(item):
+                i, ref = item
+                data = pool.load(ref.fragment_id)
+                if chain_fn is not None:
+                    data = chain_fn(data, i)
+                return data
+
+            if ops:
+                parts = self._server.sweep(
+                    ops, work, list(enumerate(refs)), cube_id=self.cube_id
+                )
+                _flush_avoided(meter)
+            else:
+                parts = self._server.map_fragments(work, list(enumerate(refs)))
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts, axis=axis)
@@ -645,10 +1020,20 @@ class Cube:
         return path
 
     def delete(self) -> None:
-        """Free the cube's fragments from the I/O servers (idempotent)."""
+        """Free the cube's fragments from the I/O servers (idempotent).
+
+        Deleting an unmaterialised plan cube frees nothing (there are no
+        fragments) but still marks the cube deleted for direct use;
+        downstream plan cubes keep evaluating through it from the base
+        sources.  A previously materialised plan cube reverts to its
+        plan for the same reason.
+        """
         if self._deleted:
             return
-        self._server.pool.delete_many([r.fragment_id for r in self._fragments])
+        if self._fragments is not None:
+            self._server.pool.delete_many([r.fragment_id for r in self._fragments])
+            if self._plan_step is not None:
+                self._fragments = None
         self._server.log_operator("oph_delete", cube_id=self.cube_id)
         self._deleted = True
 
@@ -688,9 +1073,10 @@ class Cube:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         dims = ", ".join(f"{d.name}={d.size}" for d in self.dims)
+        lazy = " lazy" if self._fragments is None else ""
         return (
-            f"<Cube {self.cube_id} {self.measure}[{dims}] nfrag={self.nfrag} "
-            f"{self.description!r}>"
+            f"<Cube {self.cube_id} {self.measure}[{dims}] nfrag={self.nfrag}"
+            f"{lazy} {self.description!r}>"
         )
 
 

@@ -29,6 +29,8 @@ type; nesting is allowed anywhere a measure expression is expected
 from __future__ import annotations
 
 import re
+import threading
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
@@ -282,20 +284,104 @@ def _eval_call(name: str, args: List, measure: np.ndarray) -> np.ndarray:
     raise PrimitiveError(f"unknown primitive {name!r}")
 
 
+# ---------------------------------------------------------------------------
+# Compile-once AST cache
+# ---------------------------------------------------------------------------
+
+class _ASTCache:
+    """Thread-safe LRU of parsed primitive ASTs, keyed on the query string.
+
+    Fragment-parallel operators evaluate the same query once per
+    fragment; with the cache the tokenizer/parser run once per distinct
+    query string for the whole process instead.  ASTs are immutable
+    tuples, so sharing one across threads is safe.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, query: str) -> tuple:
+        with self._lock:
+            ast = self._entries.get(query)
+            if ast is not None:
+                self.hits += 1
+                self._entries.move_to_end(query)
+                return ast
+            self.misses += 1
+        # Parse outside the lock: parsing is pure and collisions are
+        # harmless (both threads produce the same AST).
+        ast = _parse_uncached(query)
+        with self._lock:
+            self._entries[query] = ast
+            self._entries.move_to_end(query)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return ast
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits, "misses": self.misses,
+                "size": len(self._entries), "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+def _parse_uncached(query: str) -> tuple:
+    ast = _Parser(_tokenize(query)).parse()
+    if ast[0] != "call":
+        raise PrimitiveError("a primitive expression must be a function call")
+    return ast
+
+
+_ast_cache = _ASTCache()
+
+
+def parse_primitive(query: str) -> tuple:
+    """Parse *query* into its AST, memoized in a thread-safe LRU.
+
+    Raises :class:`PrimitiveError` for malformed queries (errors are not
+    cached, so a corrected query re-parses normally).
+    """
+    return _ast_cache.get(query)
+
+
+def primitive_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared AST cache."""
+    return _ast_cache.info()
+
+
+def clear_primitive_cache() -> None:
+    """Drop all cached ASTs and reset the counters (tests)."""
+    _ast_cache.clear()
+
+
+def evaluate_ast(ast: tuple, measure: np.ndarray) -> np.ndarray:
+    """Evaluate a pre-parsed primitive AST against the *measure* array."""
+    measure = np.asarray(measure)
+    result = _eval(ast, measure)
+    if result.shape != measure.shape:
+        raise PrimitiveError(
+            f"primitive changed the measure shape {measure.shape} "
+            f"-> {result.shape}"
+        )  # pragma: no cover - all current primitives are elementwise
+    return result
+
+
 def evaluate_primitive(query: str, measure: np.ndarray) -> np.ndarray:
     """Evaluate an ``oph_*`` *query* against the *measure* array.
 
     The result always has the query's declared output type and the same
-    shape as the input measure.
+    shape as the input measure.  The parsed AST is memoized, so repeated
+    evaluation of one query (the per-fragment pattern) tokenizes once.
     """
-    tokens = _tokenize(query)
-    ast = _Parser(tokens).parse()
-    if ast[0] != "call":
-        raise PrimitiveError("a primitive expression must be a function call")
-    result = _eval(ast, np.asarray(measure))
-    if result.shape != np.asarray(measure).shape:
-        raise PrimitiveError(
-            f"primitive changed the measure shape {np.asarray(measure).shape} "
-            f"-> {result.shape}"
-        )  # pragma: no cover - all current primitives are elementwise
-    return result
+    return evaluate_ast(parse_primitive(query), measure)

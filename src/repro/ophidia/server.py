@@ -43,6 +43,14 @@ class OphidiaServer:
         Shared filesystem used by ``importnc``/``exportnc`` operators.
         Paths are then relative to the filesystem root; absolute host
         paths are used when no filesystem is attached.
+    lazy:
+        When True (the default), elementwise operators build a deferred
+        per-fragment expression plan instead of materialising; chains of
+        such operators are fused into a single pooled fragment pass at
+        the next forced-evaluation point (reduction, merge, export,
+        gather or explicit :meth:`Cube.materialize`).  ``lazy=False``
+        restores fully eager execution: every operator reads, computes
+        and writes its fragments immediately.
     """
 
     def __init__(
@@ -50,17 +58,23 @@ class OphidiaServer:
         n_io_servers: int = 2,
         n_cores: int = 2,
         filesystem: Optional[SharedFilesystem] = None,
+        lazy: bool = True,
     ) -> None:
         if n_cores < 1:
             raise ValueError("n_cores must be >= 1")
         self.pool = StoragePool(n_io_servers)
         self.n_cores = n_cores
         self.filesystem = filesystem
+        self.lazy = bool(lazy)
         self._executor = ThreadPoolExecutor(
             max_workers=n_cores, thread_name_prefix="ophidia-core"
         )
         self._log: List[Dict[str, Any]] = []
         self._log_lock = threading.Lock()
+        #: Serialises plan resolution/materialisation across consumer
+        #: threads (re-entrant: resolving one chain may recursively
+        #: resolve an intercube operand's chain).
+        self._plan_lock = threading.RLock()
 
     # -- provenance -----------------------------------------------------------
 
@@ -129,6 +143,52 @@ class OphidiaServer:
         if first_error is not None:
             raise first_error
         return results
+
+    #: Histogram buckets for operators-per-sweep; fused analytics chains
+    #: in the wave pipeline run 4-6 operators deep, deep ML featurisation
+    #: plans can exceed a dozen.
+    FUSION_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+    def sweep(
+        self,
+        ops: Sequence[str],
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        **attrs: Any,
+    ) -> List[Any]:
+        """One fragment-parallel pass executing *ops* (possibly fused).
+
+        Every operator execution — eager single-op or a fused lazy chain —
+        goes through here so the pass accounting is uniform: a sweep over
+        ``len(ops)`` operators counts one pass run and ``len(ops) - 1``
+        passes avoided (eager execution would have swept once per
+        operator).  Fused sweeps additionally log an ``oph_executeplan``
+        provenance entry naming the fused operators, and the span carries
+        ``fused_ops``/``fusion_length`` attributes so plans are visible in
+        the exported trace.
+        """
+        ops = list(ops)
+        registry = get_registry()
+        registry.counter(
+            "ophidia_fragment_passes_run_total",
+            "Fragment-parallel sweeps executed",
+        ).inc()
+        if len(ops) > 1:
+            registry.counter(
+                "ophidia_fragment_passes_avoided_total",
+                "Per-operator sweeps avoided by fusing operator chains",
+            ).inc(len(ops) - 1)
+            self.log_operator("oph_executeplan", fused=ops, length=len(ops), **attrs)
+        registry.histogram(
+            "ophidia_plan_fusion_length",
+            "Operators executed per fragment sweep",
+            buckets=self.FUSION_BUCKETS,
+        ).observe(len(ops))
+        name = "oph_executeplan" if len(ops) > 1 else (ops[0] if ops else "oph_sweep")
+        with self.operation(
+            name, fused_ops=",".join(ops), fusion_length=len(ops), **attrs
+        ):
+            return self.map_fragments(fn, items)
 
     # -- NetCDF ingestion / export ---------------------------------------------
 

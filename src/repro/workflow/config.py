@@ -26,6 +26,7 @@ class WorkflowParams:
     scheduler: str = "fifo"
     ophidia_io_servers: int = 2
     ophidia_cores: int = 2
+    ophidia_lazy: bool = True    # fuse operator chains into single sweeps
     nfrag: int = 4
 
     threshold_k: float = 5.0

@@ -85,7 +85,7 @@ def run_distributed_extreme_events(
     ana.filesystem.configure_cache(p.fs_cache_bytes)
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores,
-        filesystem=ana.filesystem,
+        filesystem=ana.filesystem, lazy=p.ophidia_lazy,
     )
     client = Client(server)
     collector = YearCollector(sim.filesystem.path(p.output_dir))

@@ -213,7 +213,8 @@ def _run_traced(
         )
 
     server = OphidiaServer(
-        n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores, filesystem=fs
+        n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores, filesystem=fs,
+        lazy=p.ophidia_lazy,
     )
     client = Client(server)
     collector = YearCollector(fs.path(p.output_dir))

@@ -225,6 +225,9 @@ def index_frequency(client: Client, duration: Cube, n_days: int,
         f"oph_cast('OPH_INT','OPH_DOUBLE',measure),{1.0 / n_days})",
         description="Frequency cube",
     )
+    # On the lazy path freq still references wave_days; force it before
+    # freeing its base cube.
+    freq.materialize()
     wave_days.delete()
     freq.exportnc2(output_path=output_path, output_name=filename)
     return freq

@@ -204,3 +204,55 @@ class TestNestingAndErrors:
             data,
         )
         np.testing.assert_allclose(out, data, atol=1e-9)
+
+
+class TestASTCache:
+    def test_repeated_queries_hit_the_cache(self):
+        from repro.ophidia import (
+            clear_primitive_cache,
+            parse_primitive,
+            primitive_cache_info,
+        )
+
+        clear_primitive_cache()
+        query = "oph_predicate('OPH_INT','OPH_INT',measure,'x','>0','1','0')"
+        first = parse_primitive(query)
+        info = primitive_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 0
+        for _ in range(5):
+            assert parse_primitive(query) is first
+        info = primitive_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 5
+        assert info["size"] == 1
+
+    def test_cached_evaluation_matches_uncached(self):
+        from repro.ophidia import clear_primitive_cache
+
+        clear_primitive_cache()
+        measure = np.array([1.0, -2.0, 3.0])
+        query = "oph_mul_scalar('OPH_DOUBLE','OPH_DOUBLE',measure,2)"
+        cold = evaluate_primitive(query, measure)
+        warm = evaluate_primitive(query, measure)  # AST now cached
+        np.testing.assert_array_equal(cold, warm)
+
+    def test_cache_is_bounded_lru(self):
+        from repro.ophidia import clear_primitive_cache, parse_primitive
+        from repro.ophidia.primitives import _ast_cache
+
+        clear_primitive_cache()
+        for k in range(_ast_cache.maxsize + 10):
+            parse_primitive(
+                f"oph_sum_scalar('OPH_DOUBLE','OPH_DOUBLE',measure,{k})"
+            )
+        assert _ast_cache.info()["size"] == _ast_cache.maxsize
+
+    def test_parallel_parsing_is_consistent(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.ophidia import clear_primitive_cache, parse_primitive
+
+        clear_primitive_cache()
+        query = "oph_predicate('OPH_INT','OPH_INT',measure,'x','>=6','x','0')"
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            asts = list(pool.map(lambda _: parse_primitive(query), range(64)))
+        assert all(a == asts[0] for a in asts)
