@@ -29,7 +29,8 @@ def run_mode(tmp_path, tc_model_path, sequential: bool):
         return run_extreme_events_workflow(cluster, params)
 
 
-def test_c1_overlap_beats_sequential(benchmark, tmp_path, tc_model_path):
+def test_c1_overlap_beats_sequential(benchmark, tmp_path, tc_model_path,
+                                     record_bench):
     sequential = run_mode(tmp_path, tc_model_path, sequential=True)
     overlapped = benchmark.pedantic(
         lambda: run_mode(tmp_path, tc_model_path, sequential=False),
@@ -55,6 +56,15 @@ def test_c1_overlap_beats_sequential(benchmark, tmp_path, tc_model_path):
     assert seq_overlap < 0.05
     # Identical science either way.
     assert overlapped["years"][2030]["heat_waves"] == sequential["years"][2030]["heat_waves"]
+
+    record_bench(
+        "c1_overlap_makespan",
+        makespan_s=ovl_span,
+        overlap_s=ovl_overlap,
+        speedup=seq_span / ovl_span,
+        critical_path_s=overlapped.get("profile", {}).get(
+            "critical_path_s", 0.0),
+    )
 
     print_table(
         "C1: concurrent vs sequential execution (4 years, paced ESM)",

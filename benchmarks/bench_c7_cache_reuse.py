@@ -39,7 +39,7 @@ def run_mode(tmp_path, tc_model_path, cached: bool):
         return summary, science_digests(cluster.filesystem)
 
 
-def test_c7_cache_reuse(benchmark, tmp_path, tc_model_path):
+def test_c7_cache_reuse(benchmark, tmp_path, tc_model_path, record_bench):
     off, off_digests = run_mode(tmp_path, tc_model_path, cached=False)
     on, on_digests = benchmark.pedantic(
         lambda: run_mode(tmp_path, tc_model_path, cached=True),
@@ -66,6 +66,18 @@ def test_c7_cache_reuse(benchmark, tmp_path, tc_model_path):
     assert disk_on < disk_off
     # Byte-transparent: identical artifacts either way.
     assert on_digests and on_digests == off_digests
+
+    hit_rate = fs_hits / max(
+        1.0, fs_hits + snapshot_value(on["metrics"], "fs_cache_misses_total")
+    )
+    record_bench(
+        "c7_cache_reuse",
+        makespan_s=on["schedule"]["makespan_s"],
+        transfer_bytes=moved_on,
+        transfer_bytes_saved=saved,
+        fs_bytes_read=disk_on,
+        fs_cache_hit_rate=hit_rate,
+    )
 
     print_table(
         f"C7: reuse layer over {len(YEARS)} years (with ML)",

@@ -81,7 +81,7 @@ def run_mode(tmp_path, lazy: bool):
             "fused": fused}
 
 
-def test_c8_operator_fusion(benchmark, tmp_path):
+def test_c8_operator_fusion(benchmark, tmp_path, record_bench):
     eager = run_mode(tmp_path, lazy=False)
     lazy = benchmark.pedantic(
         lambda: run_mode(tmp_path, lazy=True), rounds=1, iterations=1,
@@ -97,6 +97,16 @@ def test_c8_operator_fusion(benchmark, tmp_path):
         assert got.dtype == want.dtype
         np.testing.assert_array_equal(got, want)
     assert lazy["digests"] == eager["digests"]
+
+    record_bench(
+        "c8_operator_fusion",
+        fragment_writes=lazy["stats"].fragment_writes,
+        fragment_bytes_written=lazy["stats"].bytes_written,
+        sweeps_avoided=lazy["fused"],
+        write_cut_fraction=(
+            1 - lazy["stats"].fragment_writes / eager["stats"].fragment_writes
+        ),
+    )
 
     rows = []
     for label, run in (("lazy (fused)", lazy), ("eager", eager)):

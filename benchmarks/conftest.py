@@ -4,12 +4,26 @@ Every benchmark prints the rows/series the corresponding paper artefact
 reports (see DESIGN.md's experiment index) in addition to the
 pytest-benchmark timing.  Expensive shared assets (the trained TC CNN)
 are session-scoped.
+
+Benchmarks additionally record their headline metrics through the
+``record_bench`` fixture; at session end they are merged into a
+``BENCH_summary.json`` (path from ``$BENCH_SUMMARY_OUT``, default
+``BENCH_summary.json`` in the invocation directory) that
+``repro perf-gate`` diffs against ``benchmarks/baselines/``.  Setting
+``BENCH_CAPTURE_BASELINES=1`` refreshes those committed baselines from
+the measured values instead (re-baselining after an intentional
+perf change).
 """
+
+import os
 
 import pytest
 
 from repro.cluster import laptop_like
+from repro.observability.baseline import capture_baseline, write_bench_summary
 from repro.workflow.tasks import ensure_tc_model
+
+_BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +48,36 @@ def tc_model_esm_path(tmp_path_factory):
 def cluster(tmp_path):
     with laptop_like(scratch_root=str(tmp_path / "scratch")) as c:
         yield c
+
+
+_recorded = {}
+
+
+@pytest.fixture
+def record_bench():
+    """Record one benchmark's headline metrics for the perf gate.
+
+    Usage: ``record_bench("c7_cache_reuse", makespan_s=..., ...)``.
+    Values land in ``BENCH_summary.json`` at session end (and in
+    ``benchmarks/baselines/`` when ``BENCH_CAPTURE_BASELINES=1``).
+    """
+    def _record(name, **metrics):
+        _recorded.setdefault(name, {}).update(
+            {k: float(v) for k, v in metrics.items()}
+        )
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _recorded:
+        return
+    out = os.environ.get("BENCH_SUMMARY_OUT", "BENCH_summary.json")
+    for name, metrics in sorted(_recorded.items()):
+        write_bench_summary(out, name, metrics)
+        if os.environ.get("BENCH_CAPTURE_BASELINES"):
+            path = capture_baseline(name, metrics, _BASELINES_DIR)
+            print(f"\n# captured baseline {path}")
+    print(f"\n# bench summary: {out}")
 
 
 def print_table(title, header, rows):

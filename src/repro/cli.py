@@ -14,6 +14,12 @@ Commands
 ``chaos``
     Run the workflow under a seeded fault schedule (node crash, flaky
     I/O, task failures) and verify recovery reproduces a fault-free run.
+``analyze``
+    Profile a finished run (trace.json / run_summary.json): critical
+    path, per-worker utilization, stragglers, what-if estimates.
+``perf-gate``
+    Diff measured benchmark metrics against committed baselines with
+    per-metric tolerances; exits nonzero on regression.
 ``info``
     Print the component inventory and version.
 """
@@ -38,6 +44,9 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
                         help="minimum wave length in days")
     parser.add_argument("--with-ml", action="store_true",
                         help="enable the CNN TC localizer")
+    parser.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                        help="wall-clock pacing per simulated day (makes "
+                             "ESM/analytics overlap visible in profiles)")
     parser.add_argument("--scratch", default=None,
                         help="cluster scratch directory (kept after the run)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
@@ -70,7 +79,8 @@ def _params_from_args(args) -> "WorkflowParams":
     return WorkflowParams(
         years=args.years, n_days=args.days, n_lat=args.n_lat, n_lon=args.n_lon,
         n_workers=args.workers, scenario=args.scenario, seed=args.seed,
-        min_length_days=args.min_length, with_ml=args.with_ml, **kwargs,
+        min_length_days=args.min_length, with_ml=args.with_ml,
+        pace_seconds=args.pace, **kwargs,
     )
 
 
@@ -279,6 +289,77 @@ def _cmd_chaos(args) -> int:
     return 0 if report["match"] else 1
 
 
+def _cmd_analyze(args) -> int:
+    """Profile a finished run: critical path, timelines, what-ifs."""
+    from repro.observability import profile_from_perfetto, render_profile
+    from repro.workflow.extreme_events import ANALYTICS_TASKS
+
+    with open(args.from_path) as fh:
+        payload = json.load(fh)
+
+    if "traceEvents" in payload:
+        profile = profile_from_perfetto(
+            payload,
+            esm_functions=("esm_simulation",),
+            analytics_functions=set(ANALYTICS_TASKS) | {"transfer_year"},
+            what_if_top_k=args.top,
+        ).to_json()
+    elif "profile" in payload and isinstance(payload["profile"], dict):
+        profile = payload["profile"]  # a run_summary.json
+    elif "critical_path_s" in payload:
+        profile = payload  # an exported profile.json
+    else:
+        print(f"{args.from_path}: neither a Perfetto trace, a "
+              "run_summary.json, nor a profile.json", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(profile, indent=1))
+    else:
+        print(render_profile(profile, top=args.top), end="")
+    return 0
+
+
+def _cmd_perf_gate(args) -> int:
+    """Diff measured benchmark metrics against committed baselines."""
+    from repro.observability import (
+        capture_baseline, extract_headline_metrics, gate_summary,
+        load_baselines,
+    )
+    from repro.observability.export import _looks_like_snapshot
+
+    with open(args.from_path) as fh:
+        payload = json.load(fh)
+
+    # Accept a BENCH_summary.json, a run's metrics.json, or a
+    # run_summary.json (headline metrics are extracted from the latter
+    # two under the benchmark name "workflow_run").
+    if "benchmarks" in payload:
+        summary = payload
+    else:
+        snapshot = payload.get("metrics", payload)
+        if not _looks_like_snapshot(snapshot):
+            print(f"{args.from_path}: neither a BENCH_summary.json nor a "
+                  "metrics snapshot", file=sys.stderr)
+            return 2
+        summary = {"benchmarks": {
+            "workflow_run": extract_headline_metrics(snapshot)
+        }}
+
+    if args.capture:
+        for bench, metrics in sorted(summary["benchmarks"].items()):
+            path = capture_baseline(bench, metrics, args.baseline)
+            print(f"# captured {path}", file=sys.stderr)
+        return 0
+
+    report = gate_summary(summary, load_baselines(args.baseline))
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_json(), fh, indent=1)
+    print(report.render(), end="")
+    return 0 if report.passed else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analytics import generate_report
 
@@ -386,6 +467,38 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report-out", default=None, metavar="PATH",
                        help="also write the JSON report here")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="profile a finished run: critical path, utilization, what-ifs",
+    )
+    analyze.add_argument("--from", dest="from_path", required=True,
+                         metavar="PATH",
+                         help="a trace.json (Perfetto), run_summary.json, "
+                              "or profile.json from a finished run")
+    analyze.add_argument("--format", choices=("text", "json"), default="text")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="contributors/what-ifs to show (default 10)")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    gate = sub.add_parser(
+        "perf-gate",
+        help="diff benchmark metrics against committed baselines; "
+             "exit 1 on regression",
+    )
+    gate.add_argument("--from", dest="from_path", required=True,
+                      metavar="PATH",
+                      help="a BENCH_summary.json, metrics.json, or "
+                           "run_summary.json")
+    gate.add_argument("--baseline", required=True, metavar="PATH",
+                      help="baseline .json file or directory of them "
+                           "(e.g. benchmarks/baselines)")
+    gate.add_argument("--capture", action="store_true",
+                      help="write/refresh baselines from the measured "
+                           "values instead of gating")
+    gate.add_argument("--report-out", default=None, metavar="PATH",
+                      help="also write the gate report as JSON here")
+    gate.set_defaults(fn=_cmd_perf_gate)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

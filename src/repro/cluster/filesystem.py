@@ -13,6 +13,7 @@ import fnmatch
 import itertools
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
@@ -224,12 +225,21 @@ class SharedFilesystem:
 
     # -- telemetry -----------------------------------------------------------
 
-    def _count(self, op: str, nbytes_read: int = 0, nbytes_written: int = 0) -> None:
+    def _count(
+        self, op: str, nbytes_read: int = 0, nbytes_written: int = 0,
+        seconds: Optional[float] = None,
+    ) -> None:
         registry = get_registry()
         registry.counter(
             "fs_operations_total", "Shared-filesystem operations",
             labels=("fs", "op"),
         ).inc(fs=self.fs_label, op=op)
+        if seconds is not None:
+            registry.histogram(
+                "fs_op_duration_seconds",
+                "Latency of shared-filesystem data operations",
+                labels=("fs", "op"),
+            ).observe(seconds, fs=self.fs_label, op=op)
         if nbytes_read:
             registry.counter(
                 "fs_bytes_read_total", "Bytes read from shared filesystems",
@@ -324,13 +334,15 @@ class SharedFilesystem:
         full = self._resolve(rel_path)
         self._maybe_fault("write", rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
+        t0 = time.monotonic()
         with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             nbytes = write_dataset(dataset, full)
             h.set_attr("nbytes", nbytes)
         if self._cache is not None:
             self._cache.invalidate(rel_path)
-        self._count("write", nbytes_written=nbytes)
+        self._count("write", nbytes_written=nbytes,
+                    seconds=time.monotonic() - t0)
         return nbytes
 
     def read(self, rel_path: str, variables=None) -> Dataset:
@@ -345,22 +357,25 @@ class SharedFilesystem:
         full = self._resolve(rel_path)
         self._maybe_fault("read", rel_path)
         cache = self._cache
+        t0 = time.monotonic()
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             if cache is None:
                 ds = read_dataset(full, variables=variables)
                 h.set_attr("nbytes", ds.nbytes)
-                self._count("read", nbytes_read=ds.nbytes)
+                self._count("read", nbytes_read=ds.nbytes,
+                            seconds=time.monotonic() - t0)
                 return ds
             ds, disk_nbytes, served_nbytes, touched_disk, evictions = (
                 self._read_through_cache(cache, full, rel_path, variables)
             )
             h.set_attr("nbytes", ds.nbytes)
             h.set_attr("cache", "miss" if touched_disk else "hit")
+        elapsed = time.monotonic() - t0
         if touched_disk:
-            self._count("read", nbytes_read=disk_nbytes)
+            self._count("read", nbytes_read=disk_nbytes, seconds=elapsed)
         else:
-            self._count("read_cached")
+            self._count("read_cached", seconds=elapsed)
         self._record_cache(hit=not touched_disk, nbytes_served=served_nbytes,
                            evictions=evictions)
         return ds
@@ -435,6 +450,7 @@ class SharedFilesystem:
         full = self._resolve(rel_path)
         self._maybe_fault("write_bytes", rel_path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
+        t0 = time.monotonic()
         with maybe_span(f"fs.write:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path,
                                "nbytes": len(payload)}):
@@ -442,7 +458,8 @@ class SharedFilesystem:
                 n = fh.write(payload)
         if self._cache is not None:
             self._cache.invalidate(rel_path)
-        self._count("write_bytes", nbytes_written=n)
+        self._count("write_bytes", nbytes_written=n,
+                    seconds=time.monotonic() - t0)
         return n
 
     def read_bytes(self, rel_path: str) -> bytes:
@@ -460,12 +477,14 @@ class SharedFilesystem:
                 self._count("read_cached")
                 self._record_cache(hit=True, nbytes_served=len(payload))
                 return payload
+        t0 = time.monotonic()
         with maybe_span(f"fs.read:{rel_path}", layer="filesystem",
                         attrs={"fs": self.fs_label, "path": rel_path}) as h:
             with open(full, "rb") as fh:
                 payload = fh.read()
             h.set_attr("nbytes", len(payload))
-        self._count("read_bytes", nbytes_read=len(payload))
+        self._count("read_bytes", nbytes_read=len(payload),
+                    seconds=time.monotonic() - t0)
         if cache is not None:
             evicted = cache.store(("bytes", rel_path), payload, len(payload))
             self._record_cache(hit=False, evictions=evicted)

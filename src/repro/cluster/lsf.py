@@ -272,6 +272,7 @@ class LSFScheduler:
             if job.state is JobState.PEND:
                 self._pending.remove(job)
                 job.state = JobState.KILLED
+                self._record_killed_pend(job, "bkill")
                 job._done.set()
                 return True
             return False
@@ -344,10 +345,27 @@ class LSFScheduler:
             self._shutdown = True
             for job in self._pending:
                 job.state = JobState.KILLED
+                self._record_killed_pend(job, "shutdown")
                 job._done.set()
             self._pending.clear()
             self._wake.notify_all()
         self._dispatcher.join(timeout=5)
+
+    def _record_killed_pend(self, job: Job, cause: str) -> None:
+        """Close the pending interval of a job killed before dispatch.
+
+        The normal ``pend:`` span is only recorded at dispatch time, so
+        a job killed while queued would otherwise vanish from the trace;
+        record its wait as an ERROR span instead.
+        """
+        record_span(
+            f"pend:{job.name}#{job.job_id}", layer="cluster",
+            start=job.submit_time, end=time.monotonic(),
+            parent=job._trace_ctx, status="ERROR",
+            attrs={"job_id": job.job_id,
+                   "queue": job.queue.name if job.queue else "",
+                   "category": "queue", "cause": cause},
+        )
 
     # -- dispatch -----------------------------------------------------------
 
@@ -404,7 +422,8 @@ class LSFScheduler:
         record_span(
             f"pend:{job.name}#{job.job_id}", layer="cluster",
             start=job.submit_time, end=job.start_time, parent=job._trace_ctx,
-            attrs={"job_id": job.job_id, "queue": queue_name},
+            attrs={"job_id": job.job_id, "queue": queue_name,
+                   "category": "queue"},
         )
 
         def body() -> None:
@@ -412,7 +431,7 @@ class LSFScheduler:
                 f"job:{job.name}#{job.job_id}", layer="cluster",
                 attrs={"job_id": job.job_id, "queue": queue_name,
                        "node": alloc.node_name, "cores": job.request.cores,
-                       "attempt": job.requeues + 1},
+                       "attempt": job.requeues + 1, "category": "compute"},
             ) as handle:
                 result: Any = None
                 error: Optional[BaseException] = None
@@ -468,7 +487,8 @@ class LSFScheduler:
                         f"requeue:{job.name}#{job.job_id}", layer="cluster",
                         start=end, end=end, parent=job._trace_ctx,
                         attrs={"job_id": job.job_id, "requeue": job.requeues,
-                               "lost_node": alloc.node_name},
+                               "lost_node": alloc.node_name,
+                               "category": "queue"},
                     )
                 else:
                     registry.counter(

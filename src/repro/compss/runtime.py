@@ -524,13 +524,15 @@ class COMPSsRuntime:
             record_span(
                 f"queue:{node.func_name}#{node.task_id}", layer="scheduler",
                 start=node.ready_at, end=dispatch, parent=node.trace_ctx,
-                attrs={"task_id": node.task_id, "worker_id": worker_id},
+                attrs={"task_id": node.task_id, "worker_id": worker_id,
+                       "category": "queue", "function": node.func_name},
             )
         with activate(node.trace_ctx):
             with maybe_span(
                 f"{node.func_name}#{node.task_id}", layer="compss",
                 attrs={"task_id": node.task_id, "worker_id": worker_id,
-                       "attempt": node.attempts},
+                       "attempt": node.attempts, "category": "compute",
+                       "function": node.func_name},
             ) as handle:
                 transfer_plan = self._plan_transfers(node, worker_id)
                 start = self.tracer.now()
@@ -544,7 +546,21 @@ class COMPSsRuntime:
                             node.func_name, node.task_id, worker_id,
                             node.attempts, remote_deps=len(transfer_plan[2]),
                         )
-                    self._commit_transfers(node, worker_id, transfer_plan)
+                    if transfer_plan[2]:
+                        # Remote fetches get their own span so the
+                        # critical-path profiler can attribute transfer
+                        # time separately from the task's compute time.
+                        with maybe_span(
+                            f"transfer:{node.func_name}#{node.task_id}",
+                            layer="compss",
+                            attrs={"category": "transfer",
+                                   "task_id": node.task_id,
+                                   "worker_id": worker_id,
+                                   "n_fetches": len(transfer_plan[2])},
+                        ):
+                            self._commit_transfers(node, worker_id, transfer_plan)
+                    else:
+                        self._commit_transfers(node, worker_id, transfer_plan)
                     mat_args = tuple(self._materialise(a) for a in node.args)
                     mat_kwargs = {
                         k: self._materialise(v) for k, v in node.kwargs.items()
@@ -699,6 +715,7 @@ class COMPSsRuntime:
                 "task_id": node.task_id, "attempt": node.attempts,
                 "reason": reason, "backoff_s": round(backoff, 6),
                 "failed_worker": failed_worker, "error": repr(exc),
+                "category": "queue", "function": node.func_name,
             },
         )
 
@@ -746,6 +763,19 @@ class COMPSsRuntime:
         if node.state.terminal or node.state is TaskState.RUNNING:
             return
         node.state = TaskState.CANCELLED
+        # The task never ran, so no execution span exists for it; without
+        # an explicit close the trace of a chaos run would simply drop
+        # cancelled work.  Record a zero-advance ERROR span covering the
+        # time the task spent waiting before cancellation.
+        now = _time.monotonic()
+        record_span(
+            f"cancel:{node.func_name}#{node.task_id}", layer="compss",
+            start=node.ready_at if node.ready_at is not None else now,
+            end=now, parent=node.trace_ctx, status="ERROR",
+            attrs={"task_id": node.task_id, "category": "queue",
+                   "function": node.func_name,
+                   "cause": repr(cause) if cause is not None else "cancelled"},
+        )
         cancel_error = TaskCancelledError(node.task_id, node.func_name, cause)
         for future in node.futures:
             future._set_exception(cancel_error)
@@ -859,6 +889,24 @@ class COMPSsRuntime:
             except TimeoutError:  # pragma: no cover - defensive
                 pass
         with self._wake:
+            if not wait:
+                # A hard stop abandons queued work: close each not-yet-
+                # running task with an ERROR span so the exported trace
+                # stays well-formed instead of silently losing them.
+                now = _time.monotonic()
+                for node in self.graph.tasks():
+                    if node.state in (TaskState.PENDING, TaskState.READY):
+                        record_span(
+                            f"abandon:{node.func_name}#{node.task_id}",
+                            layer="compss",
+                            start=node.ready_at
+                            if node.ready_at is not None else now,
+                            end=now, parent=node.trace_ctx, status="ERROR",
+                            attrs={"task_id": node.task_id,
+                                   "category": "queue",
+                                   "function": node.func_name,
+                                   "cause": "runtime stopped"},
+                        )
             self._shutdown = True
             self._wake.notify_all()
         for w in self._workers:

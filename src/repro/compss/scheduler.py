@@ -114,7 +114,10 @@ class InstrumentedPolicy(SchedulerPolicy):
         self.name = inner.name
         self._registry = registry
 
+    _DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
     def select(self, ready, worker_id, graph):
+        depth = len(ready)
         chosen = self.inner.select(ready, worker_id, graph)
         if chosen is not None:
             registry = self._registry or get_registry()
@@ -123,6 +126,12 @@ class InstrumentedPolicy(SchedulerPolicy):
                 "Scheduling decisions by policy",
                 labels=("policy",),
             ).inc(policy=self.name)
+            registry.histogram(
+                "compss_ready_queue_depth",
+                "Ready-queue length observed at each scheduling decision",
+                labels=("policy",),
+                buckets=self._DEPTH_BUCKETS,
+            ).observe(depth, policy=self.name)
         return chosen
 
 

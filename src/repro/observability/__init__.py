@@ -24,6 +24,7 @@ from repro.observability.metrics import (
     MetricsSnapshot,
     get_registry,
     set_registry,
+    snapshot_histogram_quantile,
     snapshot_value,
 )
 from repro.observability.spans import (
@@ -44,6 +45,21 @@ from repro.observability.export import (
     build_perfetto_trace,
     render_run_report,
     snapshot_from_json,
+)
+from repro.observability.profile import (
+    WorkflowProfile,
+    profile_from_perfetto,
+    profile_spans,
+    render_profile,
+)
+from repro.observability.baseline import (
+    GateReport,
+    capture_baseline,
+    compare_to_baseline,
+    extract_headline_metrics,
+    gate_summary,
+    load_baselines,
+    write_bench_summary,
 )
 
 __all__ = [
@@ -68,7 +84,19 @@ __all__ = [
     "new_context",
     "record_span",
     "span",
+    "snapshot_histogram_quantile",
     "build_perfetto_trace",
     "render_run_report",
     "snapshot_from_json",
+    "WorkflowProfile",
+    "profile_spans",
+    "profile_from_perfetto",
+    "render_profile",
+    "GateReport",
+    "capture_baseline",
+    "compare_to_baseline",
+    "extract_headline_metrics",
+    "gate_summary",
+    "load_baselines",
+    "write_bench_summary",
 ]

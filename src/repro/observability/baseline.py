@@ -1,0 +1,364 @@
+"""Perf-regression gate: committed baselines + tolerance-aware diffing.
+
+The benchmarks (C1 overlap, C7 reuse, C8 fusion) record a handful of
+headline numbers per run — makespan, critical-path length, fragment
+writes, transfer bytes saved, cache hit rate — into a single
+``BENCH_summary.json``.  This module turns such summaries into committed
+baselines under ``benchmarks/baselines/`` and diffs fresh summaries
+against them with per-metric tolerances, so a perf win landed by one PR
+cannot silently regress in a later one: ``repro perf-gate`` exits
+nonzero when any metric drifts outside its tolerance in the bad
+direction.
+
+Baseline files are one JSON document per benchmark::
+
+    {"benchmark": "c7_cache_reuse",
+     "metrics": {"makespan_s": {"value": 3.1, "direction": "lower",
+                                "tolerance_pct": 75.0, "abs_tolerance": 0.0},
+                 ...}}
+
+``direction`` is the *good* direction: a ``lower``-is-better metric
+regresses when the current value exceeds
+``value * (1 + tolerance_pct/100) + abs_tolerance``; ``higher``-is-better
+mirrors that.  Wall-clock metrics default to wide (75%) tolerances so
+shared-CI jitter passes while a genuine 2x blow-up still fails;
+deterministic counts are gated tightly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "GateReport",
+    "MetricCheck",
+    "capture_baseline",
+    "compare_to_baseline",
+    "default_metric_spec",
+    "extract_headline_metrics",
+    "gate_summary",
+    "load_baseline",
+    "load_baselines",
+    "write_bench_summary",
+]
+
+#: (substring, spec) rules, first match wins (a trailing ``$`` makes the
+#: needle a suffix match).  ``direction`` is the good direction;
+#: tolerances are how far the *bad* direction may drift.
+_SPEC_RULES: Tuple[Tuple[Tuple[str, ...], Dict[str, Any]], ...] = (
+    # Saved/avoided/overlap/hit-rate style wins: higher is better, and
+    # halving one is a bug.  Checked first so e.g. ``overlap_s`` and
+    # ``transfer_bytes_saved`` are not mistaken for plain durations.
+    (("saved", "avoided", "hits", "overlap", "speedup", "util", "fraction",
+      "hit_rate"),
+     {"direction": "higher", "tolerance_pct": 50.0}),
+    # Wall-clock: huge variance on shared CI runners.  75% tolerance
+    # passes normal jitter yet fails a 2x (=+100%) regression.
+    (("makespan", "critical_path", "seconds", "duration", "_s$"),
+     {"direction": "lower", "tolerance_pct": 75.0}),
+    # Byte volumes move a little with placement races.
+    (("bytes", "_mb"), {"direction": "lower", "tolerance_pct": 15.0}),
+    # Discrete op counts (fragment writes, transfers) are near-
+    # deterministic; allow slack for scheduling races only.
+    (("writes", "reads", "transfers", "passes", "ops", "count", "tasks"),
+     {"direction": "lower", "tolerance_pct": 10.0, "abs_tolerance": 2.0}),
+)
+
+_DEFAULT_SPEC = {"direction": "lower", "tolerance_pct": 25.0}
+
+
+def _needle_matches(needle: str, name: str) -> bool:
+    if needle.endswith("$"):
+        return name.endswith(needle[:-1])
+    return needle in name
+
+
+def default_metric_spec(name: str, value: float) -> Dict[str, Any]:
+    """Baseline entry for one headline metric, tolerances by name."""
+    lowered = name.lower()
+    spec: Dict[str, Any] = dict(_DEFAULT_SPEC)
+    for needles, rule in _SPEC_RULES:
+        if any(_needle_matches(n, lowered) for n in needles):
+            spec = dict(rule)
+            break
+    spec.setdefault("abs_tolerance", 0.0)
+    spec["value"] = float(value)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Capture / load
+# ---------------------------------------------------------------------------
+
+def capture_baseline(
+    benchmark: str,
+    metrics: Mapping[str, float],
+    out_dir: str,
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> str:
+    """Write (or refresh) ``<out_dir>/<benchmark>.json`` from measured
+    values; *overrides* patches individual metric specs (e.g. a custom
+    tolerance).  Returns the file path."""
+    os.makedirs(out_dir, exist_ok=True)
+    doc: Dict[str, Any] = {"benchmark": benchmark, "metrics": {}}
+    for name in sorted(metrics):
+        spec = default_metric_spec(name, metrics[name])
+        if overrides and name in overrides:
+            spec.update(overrides[name])
+        doc["metrics"][name] = spec
+    path = os.path.join(out_dir, f"{benchmark}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "metrics" not in doc:
+        raise ValueError(f"{path}: not a baseline file (no 'metrics' key)")
+    return doc
+
+
+def load_baselines(path: str) -> Dict[str, Dict[str, Any]]:
+    """Baselines keyed by benchmark name; *path* is one file or a
+    directory of ``*.json`` baselines."""
+    if os.path.isdir(path):
+        docs = {}
+        for entry in sorted(os.listdir(path)):
+            if entry.endswith(".json"):
+                doc = load_baseline(os.path.join(path, entry))
+                docs[doc.get("benchmark", entry[:-5])] = doc
+        if not docs:
+            raise ValueError(f"no baseline .json files under {path}")
+        return docs
+    doc = load_baseline(path)
+    return {doc.get("benchmark", os.path.basename(path)[:-5] or path): doc}
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of gating one metric against its baseline entry."""
+
+    benchmark: str
+    metric: str
+    status: str  # "ok" | "regression" | "missing" | "new"
+    current: Optional[float]
+    baseline: Optional[float]
+    threshold: Optional[float]
+    direction: str
+
+    @property
+    def regressed(self) -> bool:
+        return self.status in ("regression", "missing")
+
+    @property
+    def delta_pct(self) -> Optional[float]:
+        if self.current is None or not self.baseline:
+            return None
+        return 100.0 * (self.current - self.baseline) / self.baseline
+
+
+@dataclass
+class GateReport:
+    """All checks across all gated benchmarks."""
+
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not any(c.regressed for c in self.checks)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.regressed]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "n_checks": len(self.checks),
+            "n_regressions": len(self.regressions),
+            "checks": [
+                {
+                    "benchmark": c.benchmark, "metric": c.metric,
+                    "status": c.status, "current": c.current,
+                    "baseline": c.baseline, "threshold": c.threshold,
+                    "direction": c.direction, "delta_pct": c.delta_pct,
+                }
+                for c in self.checks
+            ],
+        }
+
+    def render(self) -> str:
+        lines = []
+        marks = {"ok": "ok  ", "new": "new ", "regression": "FAIL",
+                 "missing": "MISS"}
+        for c in self.checks:
+            cur = "n/a" if c.current is None else f"{c.current:.4g}"
+            base = "n/a" if c.baseline is None else f"{c.baseline:.4g}"
+            delta = "" if c.delta_pct is None else f"  ({c.delta_pct:+.1f}%)"
+            lines.append(
+                f"  [{marks.get(c.status, c.status)}] "
+                f"{c.benchmark}.{c.metric}: {cur} vs baseline {base} "
+                f"({c.direction} is better){delta}"
+            )
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"perf gate: {verdict} — {len(self.checks)} checks, "
+            f"{len(self.regressions)} regressions"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _check_one(
+    benchmark: str, metric: str, spec: Mapping[str, Any],
+    current: Optional[float],
+) -> MetricCheck:
+    base = float(spec["value"])
+    direction = str(spec.get("direction", "lower"))
+    tol_pct = float(spec.get("tolerance_pct", 0.0))
+    abs_tol = float(spec.get("abs_tolerance", 0.0))
+    if current is None:
+        return MetricCheck(benchmark, metric, "missing", None, base, None,
+                           direction)
+    current = float(current)
+    if direction == "higher":
+        threshold = base * (1.0 - tol_pct / 100.0) - abs_tol
+        status = "regression" if current < threshold else "ok"
+    else:
+        threshold = base * (1.0 + tol_pct / 100.0) + abs_tol
+        status = "regression" if current > threshold else "ok"
+    return MetricCheck(benchmark, metric, status, current, base, threshold,
+                       direction)
+
+
+def compare_to_baseline(
+    benchmark: str,
+    current: Mapping[str, float],
+    baseline: Mapping[str, Any],
+) -> List[MetricCheck]:
+    """Gate one benchmark's measured metrics against one baseline doc.
+
+    Every baselined metric must be present and in tolerance (absent →
+    ``missing`` → fail); metrics measured but not yet baselined report
+    as ``new`` and pass, so adding instrumentation never blocks CI.
+    """
+    checks: List[MetricCheck] = []
+    specs: Mapping[str, Any] = baseline.get("metrics", {})
+    for metric in sorted(specs):
+        checks.append(
+            _check_one(benchmark, metric, specs[metric], current.get(metric))
+        )
+    for metric in sorted(set(current) - set(specs)):
+        value = current[metric]
+        checks.append(MetricCheck(benchmark, metric, "new", float(value),
+                                  None, None, "-"))
+    return checks
+
+
+def gate_summary(
+    summary: Mapping[str, Any],
+    baselines: Mapping[str, Mapping[str, Any]],
+) -> GateReport:
+    """Gate a ``BENCH_summary.json`` document against loaded baselines.
+
+    Benchmarks present only in the summary pass as ``new``; a baseline
+    with no matching summary entry fails (the benchmark silently
+    disappearing from CI is itself a regression).
+    """
+    report = GateReport()
+    measured: Mapping[str, Any] = summary.get("benchmarks", summary)
+    for bench in sorted(baselines):
+        current = measured.get(bench)
+        if current is None:
+            for metric, spec in sorted(baselines[bench].get("metrics", {}).items()):
+                report.checks.append(MetricCheck(
+                    bench, metric, "missing", None,
+                    float(spec["value"]), None,
+                    str(spec.get("direction", "lower")),
+                ))
+            continue
+        report.checks.extend(
+            compare_to_baseline(bench, current, baselines[bench])
+        )
+    for bench in sorted(set(measured) - set(baselines)):
+        entry = measured[bench]
+        if not isinstance(entry, Mapping):
+            continue
+        for metric in sorted(entry):
+            value = entry[metric]
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                report.checks.append(MetricCheck(
+                    bench, metric, "new", float(value), None, None, "-"))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Headline extraction + BENCH_summary.json
+# ---------------------------------------------------------------------------
+
+def extract_headline_metrics(metrics_json: Mapping[str, Any]) -> Dict[str, float]:
+    """Pull the gate-worthy headline numbers out of a run's exported
+    ``metrics.json`` snapshot (the PR-1 registry format)."""
+    from repro.observability.metrics import snapshot_value
+
+    def val(name: str, **labels: str) -> float:
+        return snapshot_value(metrics_json, name, **labels)
+
+    headline: Dict[str, float] = {}
+    for name, metric in (
+        ("workflow_makespan_seconds", "makespan_s"),
+        ("workflow_critical_path_seconds", "critical_path_s"),
+        ("workflow_esm_analytics_overlap_seconds", "overlap_s"),
+        ("ophidia_fragment_writes_total", "fragment_writes"),
+        ("compss_transfer_bytes_total", "transfer_bytes"),
+        ("compss_transfer_bytes_saved_total", "transfer_bytes_saved"),
+        ("fs_bytes_read_total", "fs_bytes_read"),
+    ):
+        v = val(name)
+        if v:
+            headline[metric] = v
+    hits = val("fs_cache_hits_total")
+    misses = val("fs_cache_misses_total")
+    if hits + misses > 0:
+        headline["fs_cache_hit_rate"] = hits / (hits + misses)
+    return headline
+
+
+def write_bench_summary(
+    path: str, benchmark: str, metrics: Mapping[str, float],
+) -> Dict[str, Any]:
+    """Merge one benchmark's numbers into ``BENCH_summary.json``.
+
+    Merge-on-write lets independent pytest invocations (one per
+    benchmark file, as CI runs them) compose into a single summary the
+    gate consumes.  Returns the merged document.
+    """
+    doc: Dict[str, Any] = {"benchmarks": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if isinstance(existing, dict):
+                doc.update(existing)
+                doc.setdefault("benchmarks", {})
+        except (ValueError, OSError):
+            pass  # corrupt partial file: start fresh
+    doc["benchmarks"][benchmark] = {
+        k: float(v) for k, v in metrics.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc

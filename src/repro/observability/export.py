@@ -21,7 +21,10 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.observability.metrics import MetricsSnapshot
+from repro.observability.metrics import (
+    MetricsSnapshot,
+    snapshot_histogram_quantile,
+)
 from repro.observability.spans import Span
 
 __all__ = [
@@ -149,9 +152,18 @@ def render_run_report(
                 if family["kind"] == "histogram":
                     count = entry["count"]
                     mean = entry["sum"] / count if count else 0.0
+                    quantiles = ""
+                    if count:
+                        p50, p95, p99 = (
+                            snapshot_histogram_quantile(data, name, q, **labels)
+                            for q in (0.50, 0.95, 0.99)
+                        )
+                        quantiles = (
+                            f" p50={p50:.4f}s p95={p95:.4f}s p99={p99:.4f}s"
+                        )
                     lines.append(
                         f"  {name}{label_txt}  count={count} "
-                        f"sum={entry['sum']:.4f}s mean={mean:.4f}s"
+                        f"sum={entry['sum']:.4f}s mean={mean:.4f}s{quantiles}"
                     )
                 else:
                     lines.append(f"  {name}{label_txt}  {entry['value']}")

@@ -350,6 +350,10 @@ class MetricsSnapshot:
         """Sum of matching counter/gauge series (0 when absent)."""
         return snapshot_value(self._data, name, **labels)
 
+    def quantile(self, name: str, q: float, **labels: Any) -> float:
+        """Histogram quantile over matching series (``nan`` when absent)."""
+        return snapshot_histogram_quantile(self._data, name, q, **labels)
+
     def __bool__(self) -> bool:
         return any(family["series"] for family in self._data.values())
 
@@ -459,6 +463,55 @@ def snapshot_value(snapshot_json: Mapping[str, Any], name: str, **labels: Any) -
         if all(str(entry_labels.get(k)) == str(v) for k, v in labels.items()):
             total += entry.get("value", entry.get("sum", 0.0))
     return total
+
+
+def snapshot_histogram_quantile(
+    snapshot_json: Mapping[str, Any], name: str, q: float, **labels: Any
+) -> float:
+    """Estimate a histogram quantile from a JSON-ified snapshot.
+
+    Same linear-interpolation estimator as :meth:`Histogram.quantile`,
+    but operating on exported bucket counts (so ``metrics.json`` files
+    from past runs yield p50/p95/p99 too).  Matching series merge first;
+    returns ``nan`` when the metric is absent, not a histogram, or has
+    no observations.  The open-ended ``+Inf`` bucket clamps to the last
+    finite bound, mirroring the live estimator.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    family = snapshot_json.get(name)
+    if family is None or family.get("kind") != "histogram":
+        return float("nan")
+    merged: Dict[float, int] = {}
+    total = 0
+    for entry in family["series"]:
+        entry_labels = entry["labels"]
+        if not all(str(entry_labels.get(k)) == str(v) for k, v in labels.items()):
+            continue
+        for bound, count in entry["buckets"].items():
+            b = float("inf") if bound == "+Inf" else float(bound)
+            merged[b] = merged.get(b, 0) + count
+        total += entry["count"]
+    if total == 0:
+        return float("nan")
+    bounds = sorted(merged)
+    finite = [b for b in bounds if b != float("inf")]
+    if not finite:
+        return float("nan")
+    target = q * total
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        count = merged[bound]
+        prev = cumulative
+        cumulative += count
+        if cumulative >= target and count > 0:
+            lo = 0.0 if i == 0 else bounds[i - 1]
+            hi = bound if bound != float("inf") else finite[-1]
+            if lo == float("inf"):
+                lo = hi
+            frac = (target - prev) / count
+            return lo + (hi - lo) * min(1.0, max(0.0, frac))
+    return finite[-1]
 
 
 # ---------------------------------------------------------------------------

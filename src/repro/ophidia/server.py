@@ -185,10 +185,17 @@ class OphidiaServer:
             buckets=self.FUSION_BUCKETS,
         ).observe(len(ops))
         name = "oph_executeplan" if len(ops) > 1 else (ops[0] if ops else "oph_sweep")
-        with self.operation(
-            name, fused_ops=",".join(ops), fusion_length=len(ops), **attrs
-        ):
-            return self.map_fragments(fn, items)
+        start = time.monotonic()
+        try:
+            with self.operation(
+                name, fused_ops=",".join(ops), fusion_length=len(ops), **attrs
+            ):
+                return self.map_fragments(fn, items)
+        finally:
+            registry.histogram(
+                "ophidia_sweep_duration_seconds",
+                "Wall time of fragment-parallel sweeps (fused or single-op)",
+            ).observe(time.monotonic() - start)
 
     # -- NetCDF ingestion / export ---------------------------------------------
 

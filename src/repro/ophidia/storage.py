@@ -17,6 +17,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.observability.metrics import get_registry
+
 
 @dataclass
 class StorageStats:
@@ -144,6 +146,15 @@ class StoragePool:
             server = self.servers[next(self._rr)]
             self._placement[fragment_id] = server
         server.put(fragment_id, data)
+        registry = get_registry()
+        registry.counter(
+            "ophidia_fragment_writes_total",
+            "Fragments written into the I/O server pool",
+        ).inc()
+        registry.counter(
+            "ophidia_fragment_bytes_written_total",
+            "Bytes written into the I/O server pool",
+        ).inc(int(data.nbytes))
         return fragment_id
 
     def load(self, fragment_id: int) -> np.ndarray:
@@ -151,13 +162,27 @@ class StoragePool:
             server = self._placement.get(fragment_id)
         if server is None:
             raise KeyError(f"unknown fragment id {fragment_id}")
-        return server.get(fragment_id)
+        data = server.get(fragment_id)
+        registry = get_registry()
+        registry.counter(
+            "ophidia_fragment_reads_total",
+            "Fragments read back from the I/O server pool",
+        ).inc()
+        registry.counter(
+            "ophidia_fragment_bytes_read_total",
+            "Bytes read back from the I/O server pool",
+        ).inc(int(data.nbytes))
+        return data
 
     def delete(self, fragment_id: int) -> None:
         with self._lock:
             server = self._placement.pop(fragment_id, None)
         if server is not None:
             server.delete(fragment_id)
+            get_registry().counter(
+                "ophidia_fragment_deletes_total",
+                "Fragments freed from the I/O server pool",
+            ).inc()
 
     def fragment_nbytes(self, fragment_id: int) -> int:
         """Non-counting size peek; 0 for unknown/deleted fragments."""

@@ -29,6 +29,7 @@ from repro.observability import (
     build_perfetto_trace,
     get_collector,
     get_registry,
+    profile_spans,
     span,
 )
 from repro.ophidia import Client, OphidiaServer
@@ -215,14 +216,35 @@ def run_distributed_extreme_events(
 
     # Root span closed with the ``with`` block above: export the run's
     # telemetry to the analytics site, next to the science results.
+    trace_spans = get_collector().for_trace(summary["trace_id"])
+    try:
+        profile = profile_spans(
+            trace_spans, runtime.tracer.events,
+            tracer_epoch=runtime.tracer.epoch,
+            esm_functions=("esm_simulation",),
+            analytics_functions=set(ANALYTICS_TASKS) | {"transfer_year"},
+        ).to_json()
+    except Exception:  # noqa: BLE001 - profiling must never fail the run
+        profile = None
+    if profile is not None:
+        summary["profile"] = profile
+        registry.gauge(
+            "workflow_critical_path_seconds",
+            "Summed critical-path duration of the last run",
+        ).set(profile["critical_path_s"])
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
     ana.filesystem.write_bytes(
         f"{p.results_dir}/trace.json",
         build_perfetto_trace(
-            get_collector().for_trace(summary["trace_id"]),
+            trace_spans,
             runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
         ).encode(),
     )
+    if profile is not None:
+        ana.filesystem.write_bytes(
+            f"{p.results_dir}/profile.json",
+            json.dumps(profile, indent=1).encode(),
+        )
     ana.filesystem.write_bytes(
         f"{p.results_dir}/metrics.json",
         json.dumps(summary["metrics"], indent=1).encode(),

@@ -30,6 +30,7 @@ from repro.observability import (
     build_perfetto_trace,
     get_collector,
     get_registry,
+    profile_spans,
     span,
 )
 from repro.observability.spans import current_context, record_span
@@ -178,15 +179,40 @@ def run_extreme_events_workflow(
     registry.gauge(
         "workflow_worker_utilisation", "Worker utilisation of the last run"
     ).set(schedule.get("worker_utilisation", 0.0))
+
+    # Critical-path profile of the run just recorded.  Computed before
+    # the metrics delta so the critical-path gauge lands in this run's
+    # snapshot (and hence in the perf-gate's headline metrics).
+    trace_spans = get_collector().for_trace(trace_id)
+    try:
+        profile = profile_spans(
+            trace_spans, runtime.tracer.events,
+            tracer_epoch=runtime.tracer.epoch,
+            esm_functions=("esm_simulation",),
+            analytics_functions=ANALYTICS_TASKS,
+        ).to_json()
+    except Exception:  # noqa: BLE001 - profiling must never fail the run
+        profile = None
+    if profile is not None:
+        summary["profile"] = profile
+        registry.gauge(
+            "workflow_critical_path_seconds",
+            "Summed critical-path duration of the last run",
+        ).set(profile["critical_path_s"])
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
 
     _write_artifact(
         fs, f"{p.results_dir}/trace.json",
         build_perfetto_trace(
-            get_collector().for_trace(trace_id),
+            trace_spans,
             runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
         ).encode(),
     )
+    if profile is not None:
+        _write_artifact(
+            fs, f"{p.results_dir}/profile.json",
+            json.dumps(profile, indent=1).encode(),
+        )
     _write_artifact(
         fs, f"{p.results_dir}/metrics.json",
         json.dumps(summary["metrics"], indent=1).encode(),

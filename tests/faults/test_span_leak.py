@@ -1,0 +1,184 @@
+"""Regression: work killed before/without running must still close its
+spans.
+
+A task cancelled by an upstream failure (``TaskCancelledError``) never
+executes, so no execution span was ever recorded for it — chaos-run
+traces used to simply lose that work.  Same for LSF jobs killed while
+PEND and for tasks abandoned by a hard runtime stop.  Each of those
+paths must now record an explicit ``status="ERROR"`` span so the
+exported trace stays well-formed.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import JobState, LSFScheduler, Node
+from repro.compss import (
+    COMPSs,
+    TaskFailedError,
+    compss_barrier,
+    compss_start,
+    compss_stop,
+    task,
+)
+from repro.observability import get_collector, span
+
+
+def trace_spans(trace_id):
+    return get_collector().for_trace(trace_id)
+
+
+def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestCancelledTaskSpans:
+    def test_cancelled_descendants_record_error_spans(self):
+        @task(returns=1)
+        def boom():
+            raise ValueError("dead on arrival")
+
+        @task(returns=1)
+        def consume(x):
+            return x
+
+        with span("test.root", layer="workflow") as root:
+            trace_id = root.context.trace_id
+            with pytest.raises(TaskFailedError):
+                with COMPSs(n_workers=2):
+                    f = boom()
+                    g = consume(f)
+                    consume(g)
+                    compss_barrier()
+
+        cancels = [s for s in trace_spans(trace_id)
+                   if s.name.startswith("cancel:consume")]
+        # both downstream tasks were cancelled, and each span is closed
+        assert len(cancels) == 2
+        for s in cancels:
+            assert s.status == "ERROR"
+            assert s.layer == "compss"
+            assert s.attrs["category"] == "queue"
+            assert "TaskFailedError" in s.attrs["cause"]
+            assert s.end >= s.start
+
+    def test_cancel_spans_reference_distinct_tasks(self):
+        @task(returns=1)
+        def boom():
+            raise ValueError("x")
+
+        @task(returns=1)
+        def consume(x):
+            return x
+
+        with span("test.root", layer="workflow") as root:
+            trace_id = root.context.trace_id
+            with pytest.raises(TaskFailedError):
+                with COMPSs(n_workers=2):
+                    f = boom()
+                    for _ in range(4):
+                        consume(f)
+                    compss_barrier()
+
+        cancelled_ids = {s.attrs["task_id"] for s in trace_spans(trace_id)
+                         if s.name.startswith("cancel:consume")}
+        assert len(cancelled_ids) == 4
+
+
+class TestHardStopSpans:
+    def test_abandoned_pending_task_records_error_span(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        @task(returns=1)
+        def blocker():
+            started.set()
+            release.wait(5.0)
+            return 1
+
+        @task(returns=1)
+        def queued(x):
+            return x
+
+        with span("test.root", layer="workflow") as root:
+            trace_id = root.context.trace_id
+            compss_start(n_workers=1)
+            try:
+                f = blocker()
+                queued(f)  # PENDING behind the running blocker
+                assert started.wait(5.0)
+            finally:
+                # unblock the worker shortly AFTER stop() has recorded
+                # the abandon spans (it does so before joining workers)
+                threading.Timer(0.2, release.set).start()
+                compss_stop(wait=False)
+                release.set()
+
+        abandoned = [s for s in trace_spans(trace_id)
+                     if s.name.startswith("abandon:queued")]
+        assert len(abandoned) == 1
+        s = abandoned[0]
+        assert s.status == "ERROR"
+        assert s.layer == "compss"
+        assert s.attrs["category"] == "queue"
+        assert s.attrs["cause"] == "runtime stopped"
+        assert s.end >= s.start
+
+
+class TestKilledPendJobSpans:
+    def test_bkill_closes_the_pend_interval(self):
+        sched = LSFScheduler([Node("n1", 2, 8.0)])
+        block = threading.Event()
+        try:
+            with span("test.root", layer="workflow") as root:
+                trace_id = root.context.trace_id
+                hog = sched.bsub(block.wait, 5.0, name="hog", cores=2)
+                assert wait_for(lambda: hog.state is JobState.RUN)
+                victim = sched.bsub(lambda: None, name="victim", cores=2)
+                assert sched.bkill(victim.job_id)
+                block.set()
+                hog.wait(timeout=5)
+            assert victim.state is JobState.KILLED
+
+            killed = [s for s in trace_spans(trace_id)
+                      if s.name == f"pend:victim#{victim.job_id}"]
+            assert len(killed) == 1
+            assert killed[0].status == "ERROR"
+            assert killed[0].attrs["cause"] == "bkill"
+            assert killed[0].attrs["category"] == "queue"
+        finally:
+            block.set()
+            sched.shutdown(wait=False)
+
+    def test_shutdown_closes_all_pending_jobs(self):
+        sched = LSFScheduler([Node("n1", 2, 8.0)])
+        block = threading.Event()
+        try:
+            with span("test.root", layer="workflow") as root:
+                trace_id = root.context.trace_id
+                hog = sched.bsub(block.wait, 5.0, name="hog", cores=2)
+                assert wait_for(lambda: hog.state is JobState.RUN)
+                stuck = [sched.bsub(lambda: None, name=f"stuck{i}", cores=2)
+                         for i in range(3)]
+                # shutdown first so no pending job can sneak onto the
+                # node freed by the hog; then release the hog
+                sched.shutdown(wait=False)
+                block.set()
+
+            assert all(j.state is JobState.KILLED for j in stuck)
+            killed = [s for s in trace_spans(trace_id)
+                      if s.name.startswith("pend:stuck")
+                      and s.status == "ERROR"]
+            assert len(killed) == 3
+            for s in killed:
+                assert s.attrs["cause"] == "shutdown"
+        finally:
+            block.set()
+            sched.shutdown(wait=False)
