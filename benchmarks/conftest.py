@@ -78,6 +78,35 @@ def pytest_sessionfinish(session, exitstatus):
             path = capture_baseline(name, metrics, _BASELINES_DIR)
             print(f"\n# captured baseline {path}")
     print(f"\n# bench summary: {out}")
+    _persist_bench_history(exitstatus)
+
+
+def _persist_bench_history(exitstatus):
+    """Mirror the session's benchmark metrics into the run-history store.
+
+    Only active when ``$REPRO_RUNS_DB`` is set (CI does this), so local
+    benchmark runs stay side-effect free.  Each benchmark becomes one
+    ``kind="benchmark"`` row whose metrics are the recorded headline
+    values, queryable with ``repro history list --kind benchmark``.
+    """
+    from repro.observability.history import RunHistory, default_history_path
+
+    db_path = default_history_path()
+    if not db_path:
+        return
+    try:
+        history = RunHistory(db_path)
+        for name, metrics in sorted(_recorded.items()):
+            history.record_run(
+                "benchmark",
+                status="completed" if exitstatus == 0 else "failed",
+                params={"benchmark": name},
+                extra={"benchmark": name, "metrics": metrics},
+            )
+    except Exception as exc:  # noqa: BLE001 - history must not fail the suite
+        print(f"\n# run-history persist failed: {exc!r}")
+    else:
+        print(f"# benchmark history: {db_path}")
 
 
 def print_table(title, header, rows):

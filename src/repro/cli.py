@@ -20,6 +20,16 @@ Commands
 ``perf-gate``
     Diff measured benchmark metrics against committed baselines with
     per-metric tolerances; exits nonzero on regression.
+``history``
+    Query the persistent run-history store: list runs, show one, or
+    compare two runs' headline metrics (exits nonzero on drift with
+    ``--fail-on-drift``).
+``tail``
+    Follow a structured event log (events.jsonl) live, with severity
+    and component filtering.
+``slo``
+    Evaluate declarative SLO rules against a finished run's metrics;
+    exits nonzero on critical breaches.
 ``info``
     Print the component inventory and version.
 """
@@ -62,6 +72,16 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the whole in-memory reuse layer "
                              "(worker resident sets + FS block cache)")
+    parser.add_argument("--runs-db", default=None, metavar="PATH",
+                        help="persist this run into the given run-history "
+                             "database (default: $REPRO_RUNS_DB if set)")
+    parser.add_argument("--slo", dest="slo_rules", default=None,
+                        metavar="RULES.yaml",
+                        help="evaluate these SLO rules live during the run "
+                             "(breaches become slo_breach events)")
+    parser.add_argument("--events-out", default=None, metavar="PATH",
+                        help="write the structured event log here (default: "
+                             "<results>/events.jsonl on the cluster FS)")
 
 
 def _params_from_args(args) -> "WorkflowParams":
@@ -80,7 +100,9 @@ def _params_from_args(args) -> "WorkflowParams":
         years=args.years, n_days=args.days, n_lat=args.n_lat, n_lon=args.n_lon,
         n_workers=args.workers, scenario=args.scenario, seed=args.seed,
         min_length_days=args.min_length, with_ml=args.with_ml,
-        pace_seconds=args.pace, **kwargs,
+        pace_seconds=args.pace,
+        runs_db=args.runs_db, slo_rules_path=args.slo_rules,
+        events_path=args.events_out, **kwargs,
     )
 
 
@@ -252,6 +274,8 @@ def _cmd_chaos(args) -> int:
         years=args.years, n_days=args.days, n_workers=args.workers,
         seed=args.seed, with_ml=args.with_ml,
         min_length_days=min(6, args.days),
+        runs_db=args.runs_db, slo_rules_path=args.slo_rules,
+        events_path=args.events_out,
     )
     # The reference and chaos runs each get their own cluster; when the
     # user pins a scratch directory, keep the two roots apart.
@@ -360,6 +384,127 @@ def _cmd_perf_gate(args) -> int:
     return 0 if report.passed else 1
 
 
+def _open_history(args) -> "RunHistory | None":
+    from repro.observability.history import RunHistory, default_history_path
+
+    db_path = args.db or default_history_path()
+    if not db_path:
+        print("no runs database: pass --db PATH or set $REPRO_RUNS_DB",
+              file=sys.stderr)
+        return None
+    return RunHistory(db_path)
+
+
+def _cmd_history(args) -> int:
+    """Query the persistent run-history store."""
+    from repro.observability.history import (
+        render_comparison, render_run, render_run_table,
+    )
+
+    history = _open_history(args)
+    if history is None:
+        return 2
+    if args.history_command == "list":
+        records = history.list_runs(limit=args.limit, kind=args.kind)
+        if args.format == "json":
+            print(json.dumps([r.to_json() for r in records], indent=1))
+        else:
+            print(render_run_table(records), end="")
+        return 0
+    if args.history_command == "show":
+        try:
+            record = history.get(args.run_id)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(record.to_json(), indent=1))
+        else:
+            print(render_run(record), end="")
+        return 0
+    # compare
+    try:
+        report = history.compare(args.run_a, args.run_b)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report, fh, indent=1)
+    if args.format == "json":
+        print(json.dumps(report, indent=1))
+    else:
+        print(render_comparison(report), end="")
+    if args.fail_on_drift and report["drifted"]:
+        return 1
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Follow (or dump) a structured events.jsonl, with filtering."""
+    from repro.observability.events import render_event, tail_events
+
+    try:
+        for event in tail_events(
+            args.path, min_severity=args.level, component=args.component,
+            follow=args.follow,
+        ):
+            print(render_event(event), flush=args.follow)
+    except FileNotFoundError:
+        print(f"{args.path}: no such event log", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    """Post-hoc SLO evaluation: exit 1 on critical breaches."""
+    from repro.observability.export import _looks_like_snapshot
+    from repro.observability.slo import (
+        evaluate_rules, load_slo_rules, render_slo_report, slo_report,
+    )
+
+    try:
+        rules = load_slo_rules(args.rules)
+    except (OSError, ValueError) as exc:
+        print(f"bad SLO rules {args.rules}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.run_id:
+        history = _open_history(args)
+        if history is None:
+            return 2
+        try:
+            snapshot = history.get(args.run_id).metrics
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        if not snapshot:
+            print(f"run {args.run_id} has no metrics snapshot",
+                  file=sys.stderr)
+            return 2
+    else:
+        with open(args.from_path) as fh:
+            payload = json.load(fh)
+        snapshot = payload.get("metrics", payload)
+        if not _looks_like_snapshot(snapshot):
+            print(f"{args.from_path}: neither a metrics.json nor a "
+                  "run_summary.json", file=sys.stderr)
+            return 2
+
+    results = evaluate_rules(rules, snapshot)
+    report = slo_report(results)
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report, fh, indent=1)
+    if args.format == "json":
+        print(json.dumps(report, indent=1))
+    else:
+        print(render_slo_report(results), end="")
+    return 1 if report["critical_breaches"] else 0
+
+
 def _cmd_report(args) -> int:
     from repro.analytics import generate_report
 
@@ -466,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scratch", default=None)
     chaos.add_argument("--report-out", default=None, metavar="PATH",
                        help="also write the JSON report here")
+    chaos.add_argument("--runs-db", default=None, metavar="PATH",
+                       help="persist the experiment (and its workflow "
+                            "attempts) into this run-history database")
+    chaos.add_argument("--slo", dest="slo_rules", default=None,
+                       metavar="RULES.yaml",
+                       help="SLO rules evaluated live during each attempt")
+    chaos.add_argument("--events-out", default=None, metavar="PATH",
+                       help="write the structured event log here")
     chaos.set_defaults(fn=_cmd_chaos)
 
     analyze = sub.add_parser(
@@ -499,6 +652,73 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument("--report-out", default=None, metavar="PATH",
                       help="also write the gate report as JSON here")
     gate.set_defaults(fn=_cmd_perf_gate)
+
+    history = sub.add_parser(
+        "history",
+        help="query the persistent run-history store (runs.db)",
+    )
+    history_sub = history.add_subparsers(dest="history_command", required=True)
+    h_list = history_sub.add_parser("list", help="recent runs, newest first")
+    h_list.add_argument("--limit", type=int, default=20)
+    h_list.add_argument("--kind", default=None,
+                        help="filter by run kind (run, run-distributed, "
+                             "chaos, benchmark)")
+    h_show = history_sub.add_parser("show", help="one run in full")
+    h_show.add_argument("run_id", help="run id (unique prefix accepted)")
+    h_compare = history_sub.add_parser(
+        "compare",
+        help="diff two runs' headline metrics and critical-path "
+             "attribution; flags drift beyond the perf-gate tolerances",
+    )
+    h_compare.add_argument("run_a", help="baseline run id (prefix ok)")
+    h_compare.add_argument("run_b", help="candidate run id (prefix ok)")
+    h_compare.add_argument("--fail-on-drift", action="store_true",
+                           help="exit 1 when any metric drifts beyond "
+                                "tolerance (CI gating)")
+    h_compare.add_argument("--report-out", default=None, metavar="PATH",
+                           help="also write the comparison JSON here")
+    for sp in (h_list, h_show, h_compare):
+        sp.add_argument("--db", default=None, metavar="PATH",
+                        help="runs database (default: $REPRO_RUNS_DB)")
+        sp.add_argument("--format", choices=("text", "json"), default="text")
+    history.set_defaults(fn=_cmd_history)
+
+    tail = sub.add_parser(
+        "tail", help="follow a structured event log (events.jsonl)"
+    )
+    tail.add_argument("path", help="path to an events.jsonl")
+    tail.add_argument("-f", "--follow", action="store_true",
+                      help="keep watching for new events (like tail -f)")
+    tail.add_argument("--level", default="DEBUG",
+                      choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+                      help="minimum severity to show")
+    tail.add_argument("--component", default=None,
+                      help="only events from this component (workflow, "
+                           "compss, lsf, ophidia, chaos, faults, slo)")
+    tail.set_defaults(fn=_cmd_tail)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO rules against a finished run"
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    s_check = slo_sub.add_parser(
+        "check",
+        help="post-hoc SLO evaluation; exit 1 on critical breaches",
+    )
+    s_check.add_argument("--rules", required=True, metavar="RULES.yaml",
+                         help="declarative SLO rules (YAML)")
+    source = s_check.add_mutually_exclusive_group(required=True)
+    source.add_argument("--from", dest="from_path", metavar="PATH",
+                        help="a metrics.json or run_summary.json")
+    source.add_argument("--run", dest="run_id", metavar="RUN_ID",
+                        help="evaluate a persisted run's metrics snapshot")
+    s_check.add_argument("--db", default=None, metavar="PATH",
+                         help="runs database for --run "
+                              "(default: $REPRO_RUNS_DB)")
+    s_check.add_argument("--format", choices=("text", "json"), default="text")
+    s_check.add_argument("--report-out", default=None, metavar="PATH",
+                         help="also write the report JSON here")
+    s_check.set_defaults(fn=_cmd_slo)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

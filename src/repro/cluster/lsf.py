@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.node import Allocation, Node
+from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 from repro.observability.spans import activate, current_context, maybe_span, record_span
 
@@ -252,6 +253,12 @@ class LSFScheduler:
             "lsf_jobs_submitted_total", "Batch jobs submitted by queue",
             labels=("queue",),
         ).inc(queue=job_queue.name)
+        emit_event(
+            "INFO", "lsf", "job_submitted",
+            f"job {job.name}#{job.job_id} submitted to queue {job_queue.name}",
+            job_id=job.job_id, job_name=job.name, queue=job_queue.name,
+            cores=job.request.cores,
+        )
         return job
 
     def bjobs(self, state: Optional[JobState] = None) -> List[Job]:
@@ -302,6 +309,12 @@ class LSFScheduler:
             "lsf_node_crashes_total", "Simulated node deaths",
             labels=("node",),
         ).inc(node=name)
+        emit_event(
+            "ERROR", "lsf", "node_crashed",
+            f"node {name} went down; {len(affected)} running job(s) flagged "
+            "for requeue",
+            node=name, affected_jobs=[j.job_id for j in affected],
+        )
         return affected
 
     def restore_node(self, name: str) -> None:
@@ -490,11 +503,28 @@ class LSFScheduler:
                                "lost_node": alloc.node_name,
                                "category": "queue"},
                     )
+                    emit_event(
+                        "WARNING", "lsf", "job_requeued",
+                        f"job {job.name}#{job.job_id} requeued "
+                        f"(attempt {job.requeues}) after losing "
+                        f"{alloc.node_name}",
+                        job_id=job.job_id, job_name=job.name,
+                        requeue=job.requeues, lost_node=alloc.node_name,
+                    )
                 else:
                     registry.counter(
                         "lsf_jobs_total", "Finished batch jobs by final state",
                         labels=("state",),
                     ).inc(state=job.state.value)
+                    emit_event(
+                        "ERROR" if job.state is JobState.EXIT else "INFO",
+                        "lsf", "job_finished",
+                        f"job {job.name}#{job.job_id} finished "
+                        f"{job.state.value}",
+                        job_id=job.job_id, job_name=job.name,
+                        state=job.state.value,
+                        runtime_s=round(job.runtime_seconds, 3),
+                    )
                     registry.histogram(
                         "lsf_job_runtime_seconds", "Job wall time by queue",
                         labels=("queue",),

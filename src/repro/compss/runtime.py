@@ -34,6 +34,7 @@ from repro.compss.parameter import Direction
 from repro.compss.scheduler import FIFOPolicy, InstrumentedPolicy, SchedulerPolicy
 from repro.compss.task_graph import TaskGraph, TaskNode, TaskState
 from repro.compss.tracing import TaskEvent, Tracer
+from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 from repro.observability.spans import activate, current_context, maybe_span, record_span
 
@@ -718,6 +719,14 @@ class COMPSsRuntime:
                 "category": "queue", "function": node.func_name,
             },
         )
+        emit_event(
+            "WARNING", "compss", "task_retried",
+            f"{node.func_name}#{node.task_id} resubmitted "
+            f"(attempt {node.attempts}, {reason}): {exc!r}",
+            task_id=node.task_id, function=node.func_name,
+            attempt=node.attempts, reason=reason,
+            backoff_s=round(backoff, 6), error=repr(exc),
+        )
 
     def _handle_failure(self, node: TaskNode, exc: BaseException) -> None:
         policy = node.on_failure
@@ -740,6 +749,13 @@ class COMPSsRuntime:
 
         # FAIL / CANCEL_SUCCESSORS / exhausted RETRY.
         node.exception = exc
+        emit_event(
+            "ERROR", "compss", "task_failed",
+            f"{node.func_name}#{node.task_id} failed terminally "
+            f"after {node.attempts} attempt(s): {exc!r}",
+            task_id=node.task_id, function=node.func_name,
+            attempts=node.attempts, policy=policy.name, error=repr(exc),
+        )
         error = TaskFailedError(node.task_id, node.func_name, exc)
         for future in node.futures:
             future._set_exception(error)
@@ -775,6 +791,13 @@ class COMPSsRuntime:
             attrs={"task_id": node.task_id, "category": "queue",
                    "function": node.func_name,
                    "cause": repr(cause) if cause is not None else "cancelled"},
+        )
+        emit_event(
+            "WARNING", "compss", "task_cancelled",
+            f"{node.func_name}#{node.task_id} cancelled"
+            + (f": {cause!r}" if cause is not None else ""),
+            task_id=node.task_id, function=node.func_name,
+            cause=repr(cause) if cause is not None else None,
         )
         cancel_error = TaskCancelledError(node.task_id, node.func_name, cause)
         for future in node.futures:

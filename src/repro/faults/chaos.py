@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster, laptop_like
@@ -26,6 +27,12 @@ from repro.compss import runtime as compss_runtime
 from repro.faults.errors import InjectedFault
 from repro.faults.injectors import FilesystemFaultInjector, TaskFaultInjector
 from repro.faults.plan import FaultPlan, NodeCrash
+from repro.observability.events import emit_event
+from repro.observability.history import (
+    RunHistory,
+    default_history_path,
+    new_run_id,
+)
 from repro.observability.metrics import get_registry
 from repro.observability.spans import span
 from repro.workflow.config import WorkflowParams
@@ -127,6 +134,11 @@ class ChaosController:
                 "workflow_restarts_total",
                 "Whole-workflow re-executions after a failed attempt",
             ).inc()
+            emit_event(
+                "WARNING", "chaos", "workflow_restarted",
+                f"workflow attempt {n} starting after a failed attempt",
+                attempt=n,
+            )
             self._repair()
         return n
 
@@ -157,6 +169,11 @@ class ChaosController:
             job_id = self._job_id
         crash = self.plan.node_crashes[idx]
         self.crashes_fired.append(crash)
+        emit_event(
+            "WARNING", "chaos", "node_crash_fired",
+            f"fault plan killing node {crash.node}",
+            node=crash.node, job_id=job_id,
+        )
         self.cluster.scheduler.kill_node(crash.node)
         self.fs_injector.enter_crash_mode(crash.node)
         if job_id is not None:
@@ -218,6 +235,25 @@ def run_chaos_experiment(
     params = params or WorkflowParams()
     say = log or (lambda message: None)
 
+    started = time.monotonic()
+    run_id = new_run_id()
+    history: Optional[RunHistory] = None
+    db_path = params.runs_db or default_history_path()
+    if db_path:
+        try:
+            history = RunHistory(db_path)
+            history.record_start(
+                run_id, "chaos",
+                params={"plan": plan.describe(), **params.to_public_dict()},
+            )
+        except Exception:  # noqa: BLE001 - history must not fail the run
+            history = None
+    emit_event(
+        "INFO", "chaos", "chaos_experiment_started",
+        f"chaos experiment {run_id} under {plan.describe()}",
+        plan=plan.describe(), max_attempts=max_workflow_attempts,
+    )
+
     baseline_params = dataclasses.replace(params, checkpoint_dir=None)
     say("reference run (no faults) ...")
     with span("chaos.baseline", layer="faults"):
@@ -270,10 +306,24 @@ def run_chaos_experiment(
     finally:
         cluster.shutdown(wait=False)
     if chaos_summary is None:
-        raise RuntimeError(
+        exc = RuntimeError(
             f"workflow did not survive {plan.describe()} within "
             f"{max_workflow_attempts} attempts"
-        ) from last_error
+        )
+        emit_event(
+            "ERROR", "chaos", "chaos_experiment_failed", str(exc),
+            plan=plan.describe(),
+        )
+        if history is not None:
+            try:
+                history.record_end(
+                    run_id, "failed",
+                    wall_clock_s=time.monotonic() - started,
+                    error=repr(last_error or exc),
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        raise exc from last_error
 
     delta = registry.snapshot().delta(snap_before)
     report: Dict[str, Any] = {
@@ -297,4 +347,29 @@ def run_chaos_experiment(
     report["workflow_attempts"] = int(
         delta.value("workflow_restarts_total")
     ) + 1
+    report["run_id"] = run_id
+    emit_event(
+        "INFO", "chaos", "chaos_experiment_completed",
+        f"chaos experiment {run_id}: "
+        f"{'match' if report['match'] else 'MISMATCH'} after "
+        f"{report['workflow_attempts']} attempt(s)",
+        match=report["match"], attempts=report["workflow_attempts"],
+    )
+    if history is not None:
+        try:
+            history.record_end(
+                run_id,
+                "completed" if report["match"] else "mismatch",
+                wall_clock_s=time.monotonic() - started,
+                metrics=delta.to_json(),
+                trace_id=chaos_summary.get("trace_id", ""),
+                extra={
+                    "plan": report["plan"],
+                    "match": report["match"],
+                    "workflow_attempts": report["workflow_attempts"],
+                    "counters": report["counters"],
+                },
+            )
+        except Exception:  # noqa: BLE001
+            pass
     return report

@@ -28,14 +28,19 @@ from repro.faults.errors import (
     NodeCrashedError,
 )
 from repro.faults.plan import FaultPlan
+from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 
 
-def _count_fault(kind: str) -> None:
+def _count_fault(kind: str, **attrs) -> None:
     get_registry().counter(
         "faults_injected_total", "Faults injected by the chaos plane",
         labels=("kind",),
     ).inc(kind=kind)
+    emit_event(
+        "WARNING", "faults", "fault_injected",
+        f"injected {kind} fault", kind=kind, **attrs,
+    )
 
 
 class FilesystemFaultInjector:
@@ -114,10 +119,10 @@ class FilesystemFaultInjector:
             # The callback may have pulled the node down under us.
             crashed = self.crashed_node
         if crashed is not None:
-            _count_fault("node_crash_io")
+            _count_fault("node_crash_io", node=crashed, op=op, path=path)
             raise NodeCrashedError(crashed, detail=f"{op} {path!r}")
         if inject:
-            _count_fault(f"fs_{op}")
+            _count_fault(f"fs_{op}", op=op, path=path)
             raise InjectedIOError(op, path)
 
 
@@ -158,8 +163,8 @@ class TaskFaultInjector:
                 and self._rng.random() < plan.transfer_error_rate
             )
         if inject_transfer:
-            _count_fault("transfer")
+            _count_fault("transfer", function=func_name, task_id=task_id)
             raise InjectedTransferError(func_name, task_id, remote_deps)
         if inject_task:
-            _count_fault("task_exception")
+            _count_fault("task_exception", function=func_name, task_id=task_id)
             raise InjectedTaskError(func_name, task_id)

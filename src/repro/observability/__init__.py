@@ -61,6 +61,39 @@ from repro.observability.baseline import (
     load_baselines,
     write_bench_summary,
 )
+from repro.observability.events import (
+    Event,
+    EventLog,
+    current_run_id,
+    emit_event,
+    get_event_log,
+    read_events,
+    render_event,
+    run_scope,
+    set_event_log,
+    tail_events,
+)
+from repro.observability.history import (
+    RunHistory,
+    RunRecord,
+    compare_runs,
+    default_history_path,
+    locked_json_update,
+    new_run_id,
+    render_comparison,
+    render_run,
+    render_run_table,
+)
+from repro.observability.slo import (
+    SLOMonitor,
+    SLOResult,
+    SLORule,
+    evaluate_rules,
+    load_slo_rules,
+    parse_slo_rules,
+    render_slo_report,
+    slo_report,
+)
 
 __all__ = [
     "Counter",
@@ -99,4 +132,31 @@ __all__ = [
     "gate_summary",
     "load_baselines",
     "write_bench_summary",
+    "Event",
+    "EventLog",
+    "current_run_id",
+    "emit_event",
+    "get_event_log",
+    "read_events",
+    "render_event",
+    "run_scope",
+    "set_event_log",
+    "tail_events",
+    "RunHistory",
+    "RunRecord",
+    "compare_runs",
+    "default_history_path",
+    "locked_json_update",
+    "new_run_id",
+    "render_comparison",
+    "render_run",
+    "render_run_table",
+    "SLOMonitor",
+    "SLOResult",
+    "SLORule",
+    "evaluate_rules",
+    "load_slo_rules",
+    "parse_slo_rules",
+    "render_slo_report",
+    "slo_report",
 ]

@@ -340,25 +340,26 @@ def write_bench_summary(
 
     Merge-on-write lets independent pytest invocations (one per
     benchmark file, as CI runs them) compose into a single summary the
-    gate consumes.  Returns the merged document.
+    gate consumes — including *concurrent* invocations: the
+    read-modify-write runs under the same interprocess lock + atomic
+    rename discipline as ``runs.db``'s WAL, so parallel benchmark
+    processes merge instead of clobbering each other (or leaving a torn
+    file for the gate to choke on).  Returns the merged document.
     """
-    doc: Dict[str, Any] = {"benchmarks": {}}
-    if os.path.exists(path):
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                existing = json.load(fh)
-            if isinstance(existing, dict):
-                doc.update(existing)
-                doc.setdefault("benchmarks", {})
-        except (ValueError, OSError):
-            pass  # corrupt partial file: start fresh
-    doc["benchmarks"][benchmark] = {
+    from repro.observability.history import locked_json_update
+
+    clean = {
         k: float(v) for k, v in metrics.items()
         if isinstance(v, (int, float)) and not isinstance(v, bool)
     }
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return doc
+
+    def merge(existing: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"benchmarks": {}}
+        if isinstance(existing, dict):
+            doc.update(existing)
+            if not isinstance(doc.get("benchmarks"), dict):
+                doc["benchmarks"] = {}
+        doc["benchmarks"][benchmark] = clean
+        return doc
+
+    return locked_json_update(path, merge)

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cluster.filesystem import SharedFilesystem
 from repro.netcdf import Dataset, Variable, read_variable, write_dataset
+from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 from repro.observability.spans import activate, current_context, maybe_span
 from repro.ophidia.storage import StoragePool, StorageStats
@@ -85,6 +86,13 @@ class OphidiaServer:
             "ophidia_operators_total", "Ophidia operator invocations",
             labels=("operator",),
         ).inc(operator=operator)
+        # Provenance doubles as the server's structured log: every
+        # operator invocation lands in the run-wide event stream, where
+        # the active run_id/trace_id correlate it with the driver.
+        emit_event(
+            "DEBUG", "ophidia", "operator_executed",
+            f"{operator} executed", operator=operator, **params,
+        )
 
     @contextmanager
     def operation(self, operator: str, **attrs: Any) -> Iterator[None]:

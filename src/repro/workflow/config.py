@@ -57,6 +57,24 @@ class WorkflowParams:
     output_dir: str = "esm_output"
     results_dir: str = "results"
     checkpoint_dir: Optional[str] = None
+    #: Host path of the persistent run-history database.  ``None``
+    #: defers to ``$REPRO_RUNS_DB``; when neither is set the run is not
+    #: persisted (library/unit-test invocations stay side-effect free).
+    runs_db: Optional[str] = None
+    #: Host path of an SLO rules YAML; when set, a live evaluator runs
+    #: alongside the workflow and emits ``slo_breach`` events.
+    slo_rules_path: Optional[str] = None
+    #: Host path override for the structured event log.  Default: the
+    #: run writes ``<results_dir>/events.jsonl`` on the cluster FS.
+    events_path: Optional[str] = None
+
+    def to_public_dict(self) -> Dict[str, Any]:
+        """JSON-safe parameter dict for provenance/history records."""
+        from dataclasses import asdict
+
+        doc = asdict(self)
+        doc["tc_target_grid"] = list(doc["tc_target_grid"])
+        return doc
 
     def __post_init__(self) -> None:
         if not self.years:

@@ -35,7 +35,11 @@ from repro.observability import (
 from repro.ophidia import Client, OphidiaServer
 from repro.workflow import tasks
 from repro.workflow.config import WorkflowParams
-from repro.workflow.extreme_events import ANALYTICS_TASKS, YearCollector
+from repro.workflow.extreme_events import (
+    ANALYTICS_TASKS,
+    RunControlPlane,
+    YearCollector,
+)
 
 
 @task(returns=1, label="dls_transfer")
@@ -98,6 +102,11 @@ def run_distributed_extreme_events(
 
     registry = get_registry()
     snap_before = registry.snapshot()
+    control = RunControlPlane(
+        "run-distributed", p,
+        p.events_path or ana.filesystem.path(f"{p.results_dir}/events.jsonl"),
+    )
+    control.begin()
     try:
         with span(
             "workflow.run-distributed", layer="workflow",
@@ -210,12 +219,16 @@ def run_distributed_extreme_events(
                 "sim_site_writes": sim.filesystem.stats.writes,
                 "ana_site_reads": ana.filesystem.stats.reads,
             }
+    except BaseException as exc:
+        control.fail(exc)
+        raise
     finally:
         collector.close()
         server.shutdown()
 
     # Root span closed with the ``with`` block above: export the run's
     # telemetry to the analytics site, next to the science results.
+    summary["run_id"] = control.run_id
     trace_spans = get_collector().for_trace(summary["trace_id"])
     try:
         profile = profile_spans(
@@ -232,6 +245,10 @@ def run_distributed_extreme_events(
             "workflow_critical_path_seconds",
             "Summed critical-path duration of the last run",
         ).set(profile["critical_path_s"])
+    control.stop_monitor()
+    slo_section = control.slo_section()
+    if slo_section is not None:
+        summary["slo"] = slo_section
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
     ana.filesystem.write_bytes(
         f"{p.results_dir}/trace.json",
@@ -257,4 +274,5 @@ def run_distributed_extreme_events(
         f"{p.results_dir}/run_summary.json",
         json.dumps(summary, indent=1, default=str).encode(),
     )
+    control.finish(summary["trace_id"], summary["metrics"], profile)
     return summary

@@ -33,6 +33,11 @@ from repro.observability import (
     profile_spans,
     span,
 )
+from repro.observability.events import get_event_log, run_scope
+from repro.observability.history import (
+    RunHistory, default_history_path, new_run_id,
+)
+from repro.observability.slo import SLOMonitor, load_slo_rules
 from repro.observability.spans import current_context, record_span
 from repro.ophidia import Client, OphidiaServer
 from repro.workflow import tasks
@@ -135,6 +140,143 @@ def _write_artifact(fs, rel_path: str, payload: bytes) -> None:
     _retry_transient(lambda: fs.write_bytes(rel_path, payload))
 
 
+class RunControlPlane:
+    """The durable control-plane spine shared by the workflow drivers.
+
+    One instance per run bundles the three PR-6 facilities: the
+    ``runs.db`` history row, the ``events.jsonl`` file sink and the
+    live SLO monitor.  Drivers call :meth:`begin` before the traced
+    body, :meth:`finish`/:meth:`fail` after — every step is
+    best-effort: a broken control plane must never fail the science.
+    """
+
+    def __init__(self, kind: str, p: "WorkflowParams", events_path: Optional[str]) -> None:
+        self.kind = kind
+        self.params = p
+        self.run_id = new_run_id()
+        self.events_path = events_path
+        self.started = _time.monotonic()
+        self.history: Optional[RunHistory] = None
+        self.monitor: Optional[SLOMonitor] = None
+        self.breach_counts: Dict[str, int] = {}
+        self._scope = None
+        self._previous_events_path: Optional[str] = None
+        self._log = get_event_log()
+
+    def begin(self) -> str:
+        db_path = self.params.runs_db or default_history_path()
+        if db_path:
+            try:
+                self.history = RunHistory(db_path)
+                self.history.record_start(
+                    self.run_id, self.kind,
+                    params=self.params.to_public_dict(),
+                )
+            except Exception:  # noqa: BLE001 - history must not fail the run
+                self.history = None
+        if self.events_path:
+            self._previous_events_path = self._log.file_path
+            try:
+                self._log.attach_file(self.events_path)
+            except OSError:
+                self.events_path = None
+        self._scope = run_scope(self.run_id)
+        self._scope.__enter__()
+        self._log.emit(
+            "INFO", "workflow", "run_started",
+            f"{self.kind} {self.run_id} started",
+            kind=self.kind, years=list(self.params.years),
+            n_days=self.params.n_days, n_workers=self.params.n_workers,
+        )
+        if self.params.slo_rules_path:
+            try:
+                rules = load_slo_rules(self.params.slo_rules_path)
+            except (OSError, ValueError) as exc:
+                self._log.emit(
+                    "ERROR", "slo", "slo_rules_invalid", repr(exc),
+                    path=self.params.slo_rules_path,
+                )
+            else:
+                if rules:
+                    self.monitor = SLOMonitor(rules).start()
+        return self.run_id
+
+    def stop_monitor(self) -> None:
+        if self.monitor is not None:
+            try:
+                self.breach_counts = self.monitor.stop()
+            except Exception:  # noqa: BLE001
+                self.breach_counts = {}
+            self.monitor = None
+
+    def slo_section(self) -> Optional[Dict[str, Any]]:
+        if not self.params.slo_rules_path:
+            return None
+        return {
+            "rules_path": self.params.slo_rules_path,
+            "breach_counts": self.breach_counts,
+            "breached": sorted(self.breach_counts),
+        }
+
+    def finish(
+        self,
+        trace_id: str,
+        metrics: Optional[Dict[str, Any]],
+        profile: Optional[Dict[str, Any]],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.stop_monitor()
+        wall = _time.monotonic() - self.started
+        self._log.emit(
+            "INFO", "workflow", "run_completed",
+            f"{self.kind} {self.run_id} completed in {wall:.2f}s",
+            kind=self.kind, wall_clock_s=round(wall, 3), trace_id=trace_id,
+            slo_breaches=sum(self.breach_counts.values()),
+        )
+        if self.history is not None:
+            try:
+                self.history.record_end(
+                    self.run_id, "completed", wall_clock_s=wall,
+                    metrics=metrics, profile=profile, trace_id=trace_id,
+                    extra=extra,
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        self._close_scope()
+
+    def fail(self, exc: BaseException) -> None:
+        self.stop_monitor()
+        wall = _time.monotonic() - self.started
+        self._log.emit(
+            "ERROR", "workflow", "run_failed",
+            f"{self.kind} {self.run_id} failed: {exc!r}",
+            kind=self.kind, wall_clock_s=round(wall, 3), error=repr(exc),
+        )
+        if self.history is not None:
+            try:
+                self.history.record_end(
+                    self.run_id, "failed", wall_clock_s=wall, error=repr(exc),
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        self._close_scope()
+
+    def _close_scope(self) -> None:
+        if self._scope is not None:
+            self._scope.__exit__(None, None, None)
+            self._scope = None
+        if self.events_path:
+            # Restore whatever sink was active before this run so nested
+            # harnesses (chaos experiments) keep their own log.
+            if self._previous_events_path:
+                try:
+                    self._log.attach_file(self._previous_events_path)
+                except OSError:
+                    self._log.detach_file()
+            else:
+                self._log.detach_file()
+
+
 def run_extreme_events_workflow(
     cluster: Cluster,
     params: "WorkflowParams | Dict[str, Any]",
@@ -153,21 +295,30 @@ def run_extreme_events_workflow(
 
     registry = get_registry()
     snap_before = registry.snapshot()
-    # The root span: every instrumented layer below (COMPSs tasks,
-    # scheduler queueing, filesystem I/O, Ophidia operators) parents
-    # into this trace.  When invoked through HPCWaaS the span joins the
-    # API's trace instead of starting its own.
-    with span(
-        "workflow.run", layer="workflow",
-        attrs={"years": len(p.years), "n_days": p.n_days,
-               "n_workers": p.n_workers, "scheduler": p.scheduler},
-    ) as root:
-        trace_id = root.context.trace_id
-        summary, runtime = _run_traced(cluster, p, fs, pace_seconds)
+    control = RunControlPlane(
+        "run", p, p.events_path or fs.path(f"{p.results_dir}/events.jsonl"),
+    )
+    control.begin()
+    try:
+        # The root span: every instrumented layer below (COMPSs tasks,
+        # scheduler queueing, filesystem I/O, Ophidia operators) parents
+        # into this trace.  When invoked through HPCWaaS the span joins
+        # the API's trace instead of starting its own.
+        with span(
+            "workflow.run", layer="workflow",
+            attrs={"years": len(p.years), "n_days": p.n_days,
+                   "n_workers": p.n_workers, "scheduler": p.scheduler},
+        ) as root:
+            trace_id = root.context.trace_id
+            summary, runtime = _run_traced(cluster, p, fs, pace_seconds)
+    except BaseException as exc:
+        control.fail(exc)
+        raise
 
     # The root span is recorded only when its block exits, so the trace
     # and metrics artefacts are exported afterwards.
     summary["trace_id"] = trace_id
+    summary["run_id"] = control.run_id
     schedule = summary.get("schedule", {})
     registry.gauge(
         "workflow_makespan_seconds", "Makespan of the last workflow run"
@@ -199,6 +350,12 @@ def run_extreme_events_workflow(
             "workflow_critical_path_seconds",
             "Summed critical-path duration of the last run",
         ).set(profile["critical_path_s"])
+    # Stop the live SLO evaluator before the delta snapshot so any
+    # slo_breaches_total increments land inside this run's metrics.
+    control.stop_monitor()
+    slo_section = control.slo_section()
+    if slo_section is not None:
+        summary["slo"] = slo_section
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
 
     _write_artifact(
@@ -225,6 +382,7 @@ def run_extreme_events_workflow(
         fs, f"{p.results_dir}/run_summary.json",
         json.dumps(summary, indent=1, default=str).encode(),
     )
+    control.finish(trace_id, summary["metrics"], profile)
     return summary
 
 
@@ -337,6 +495,14 @@ def _run_traced(
                         parent=current_context(),
                         attrs={"year": year, "n_files": len(days),
                                "esm_still_running": esm_still_running},
+                    )
+                    get_event_log().emit(
+                        "INFO", "workflow", "year_dispatched",
+                        f"analytics for {year} dispatched "
+                        f"({'pipelined' if esm_still_running else 'post_simulation'})",
+                        year=year, n_files=len(days),
+                        wait_s=round(wait_end - wait_start, 3),
+                        pipelined=esm_still_running,
                     )
                     tmax_f, tmin_f = tasks.load_year_cubes(client, days, p.nfrag)
                     futures: Dict[str, Any] = {}

@@ -63,7 +63,7 @@ def collect_entities(
 #: differ between otherwise identical runs, so equivalence checks skip them.
 _NON_SCIENCE_FILES = {
     "trace.json", "metrics.json", "metrics.prom", "run_summary.json",
-    "provenance.json", "task_graph.dot", "profile.json",
+    "provenance.json", "task_graph.dot", "profile.json", "events.jsonl",
 }
 
 

@@ -11,6 +11,7 @@ from repro.observability import (
     MetricsRegistry,
     MetricsSnapshot,
     get_registry,
+    snapshot_histogram_quantile,
     snapshot_value,
 )
 
@@ -176,3 +177,83 @@ class TestPrometheusText:
         registry.counter("n_total", labels=("path",)).inc(path='a"b\nc')
         text = registry.snapshot().to_prometheus()
         assert 'path="a\\"b\\nc"' in text
+
+
+class TestSnapshotHistogramQuantile:
+    """Edge cases of the exported-snapshot quantile estimator."""
+
+    def _snap(self, registry):
+        return registry.snapshot().to_json()
+
+    def test_empty_histogram_is_nan(self, registry):
+        registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        snap = self._snap(registry)
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(snapshot_histogram_quantile(
+                snap, "lat_seconds", q))
+
+    def test_absent_metric_is_nan(self, registry):
+        assert math.isnan(snapshot_histogram_quantile(
+            self._snap(registry), "never_observed", 0.5))
+
+    def test_non_histogram_metric_is_nan(self, registry):
+        registry.counter("ops_total").inc()
+        assert math.isnan(snapshot_histogram_quantile(
+            self._snap(registry), "ops_total", 0.5))
+
+    def test_single_bucket_histogram(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0,))
+        h.observe(0.25)
+        h.observe(0.75)
+        snap = self._snap(registry)
+        p50 = snapshot_histogram_quantile(snap, "lat_seconds", 0.5)
+        assert 0.0 <= p50 <= 1.0
+        # Everything beyond the only finite bound clamps to it.
+        assert snapshot_histogram_quantile(snap, "lat_seconds", 1.0) == 1.0
+
+    def test_p0_and_p100_bounds(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        snap = self._snap(registry)
+        p0 = snapshot_histogram_quantile(snap, "lat_seconds", 0.0)
+        p100 = snapshot_histogram_quantile(snap, "lat_seconds", 1.0)
+        assert p0 == 0.0
+        assert p100 == 4.0  # last finite bound containing an observation
+        assert p0 <= snapshot_histogram_quantile(snap, "lat_seconds", 0.5) \
+            <= p100
+
+    def test_single_observation_all_quantiles_in_its_bucket(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)  # lands in the (1.0, 2.0] bucket
+        snap = self._snap(registry)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            estimate = snapshot_histogram_quantile(snap, "lat_seconds", q)
+            assert 1.0 <= estimate <= 2.0, q
+
+    def test_overflow_only_observation_clamps_to_last_finite(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0, 2.0))
+        h.observe(100.0)  # +Inf bucket only
+        snap = self._snap(registry)
+        assert snapshot_histogram_quantile(snap, "lat_seconds", 0.5) == 2.0
+
+    def test_quantile_outside_unit_interval_rejected(self, registry):
+        registry.histogram("lat_seconds").observe(0.1)
+        snap = self._snap(registry)
+        with pytest.raises(ValueError):
+            snapshot_histogram_quantile(snap, "lat_seconds", 1.5)
+        with pytest.raises(ValueError):
+            snapshot_histogram_quantile(snap, "lat_seconds", -0.1)
+
+    def test_label_filtered_series_merge(self, registry):
+        h = registry.histogram("lat_seconds", labels=("op",), buckets=(1.0, 2.0))
+        h.observe(0.5, op="read")
+        h.observe(1.5, op="write")
+        snap = self._snap(registry)
+        read_p100 = snapshot_histogram_quantile(
+            snap, "lat_seconds", 1.0, op="read")
+        assert read_p100 == 1.0
+        merged_p100 = snapshot_histogram_quantile(snap, "lat_seconds", 1.0)
+        assert merged_p100 == 2.0
+        assert math.isnan(snapshot_histogram_quantile(
+            snap, "lat_seconds", 0.5, op="delete"))
