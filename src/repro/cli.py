@@ -82,6 +82,16 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--events-out", default=None, metavar="PATH",
                         help="write the structured event log here (default: "
                              "<results>/events.jsonl on the cluster FS)")
+    parser.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="execution backend for Ophidia fragment sweeps "
+                             "and the ESM baseline: 'thread' (default) or "
+                             "'process' (spawned workers, shared-memory "
+                             "array transport)")
+    parser.add_argument("--cores-per-node", type=int, default=4,
+                        metavar="N",
+                        help="cores per simulated cluster node (explicit "
+                             "and deterministic; default 4)")
 
 
 def _params_from_args(args) -> "WorkflowParams":
@@ -101,6 +111,8 @@ def _params_from_args(args) -> "WorkflowParams":
         n_workers=args.workers, scenario=args.scenario, seed=args.seed,
         min_length_days=args.min_length, with_ml=args.with_ml,
         pace_seconds=args.pace,
+        execution_backend=args.backend,
+        cluster_cores_per_node=args.cores_per_node,
         runs_db=args.runs_db, slo_rules_path=args.slo_rules,
         events_path=args.events_out, **kwargs,
     )
@@ -120,7 +132,10 @@ def _cmd_run(args) -> int:
     from repro.workflow import run_extreme_events_workflow
 
     params = _params_from_args(args)
-    with laptop_like(scratch_root=args.scratch) as cluster:
+    with laptop_like(
+        scratch_root=args.scratch,
+        cores_per_node=params.cluster_cores_per_node,
+    ) as cluster:
         summary = run_extreme_events_workflow(cluster, params)
         print(json.dumps(summary, indent=1, default=str))
         print(f"# artefacts: {cluster.filesystem.root}/results/", file=sys.stderr)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import os
 import tempfile
 from typing import List, Optional, Sequence
 
@@ -85,8 +84,17 @@ def zeus_like(
     return Cluster("zeus-sim", nodes, scratch_root=scratch_root)
 
 
-def laptop_like(scratch_root: Optional[str] = None) -> Cluster:
-    """A minimal 2-node cluster for unit tests and the quickstart example."""
-    cores = max(2, (os.cpu_count() or 2) // 2)
-    nodes = [Node(f"local{n}", cores, 8.0) for n in (1, 2)]
+def laptop_like(
+    scratch_root: Optional[str] = None, cores_per_node: int = 4
+) -> Cluster:
+    """A minimal 2-node cluster for unit tests and the quickstart example.
+
+    *cores_per_node* is explicit and deterministic (no
+    ``os.cpu_count()`` derivation): scheduling order, placement and perf
+    baselines must not depend on which machine runs the suite.  The CLI
+    plumbs :attr:`WorkflowParams.cluster_cores_per_node` through here.
+    """
+    if cores_per_node < 1:
+        raise ValueError("cores_per_node must be >= 1")
+    nodes = [Node(f"local{n}", cores_per_node, 8.0) for n in (1, 2)]
     return Cluster("laptop-sim", nodes, scratch_root=scratch_root)

@@ -198,6 +198,11 @@ class SharedFilesystem:
         #: ``read_bytes`` (the node-local page-cache analogue the reuse
         #: layer measures); ``cache_bytes=0`` disables it.
         self._cache: Optional[BlockCache] = None
+        #: ``callback(rel_path)`` hooks fired after every successful
+        #: write; file streams subscribe so consumers wake on the write
+        #: event instead of rescanning the directory on a timer.
+        self._write_listeners: List[Any] = []
+        self._listeners_lock = threading.Lock()
         self.configure_cache(cache_bytes)
 
     def configure_cache(self, cache_bytes: int) -> None:
@@ -215,6 +220,36 @@ class SharedFilesystem:
     def cache(self) -> Optional[BlockCache]:
         """The live block cache, or ``None`` when caching is off."""
         return self._cache
+
+    # -- write events --------------------------------------------------------
+
+    def add_write_listener(self, callback) -> None:
+        """Register ``callback(rel_path)`` to fire after successful writes.
+
+        Callbacks run on the writing thread, outside filesystem locks;
+        they must be short and non-raising (exceptions are swallowed so
+        a misbehaving subscriber cannot fail a write that already
+        succeeded).
+        """
+        with self._listeners_lock:
+            self._write_listeners.append(callback)
+
+    def remove_write_listener(self, callback) -> None:
+        """Unsubscribe a previously registered write listener (idempotent)."""
+        with self._listeners_lock:
+            try:
+                self._write_listeners.remove(callback)
+            except ValueError:
+                pass
+
+    def _notify_write(self, rel_path: str) -> None:
+        with self._listeners_lock:
+            listeners = list(self._write_listeners)
+        for callback in listeners:
+            try:
+                callback(rel_path)
+            except Exception:  # noqa: BLE001 - the write already succeeded
+                pass
 
     # -- fault injection -----------------------------------------------------
 
@@ -343,6 +378,7 @@ class SharedFilesystem:
             self._cache.invalidate(rel_path)
         self._count("write", nbytes_written=nbytes,
                     seconds=time.monotonic() - t0)
+        self._notify_write(rel_path)
         return nbytes
 
     def read(self, rel_path: str, variables=None) -> Dataset:
@@ -460,6 +496,7 @@ class SharedFilesystem:
             self._cache.invalidate(rel_path)
         self._count("write_bytes", nbytes_written=n,
                     seconds=time.monotonic() - t0)
+        self._notify_write(rel_path)
         return n
 
     def read_bytes(self, rel_path: str) -> bytes:

@@ -397,7 +397,12 @@ class LSFScheduler:
                     return
                 started_any = self._dispatch_once_locked()
                 if not started_any:
-                    self._wake.wait(timeout=0.05)
+                    # Event-driven: every transition that can unblock a
+                    # placement notifies this condition — submission
+                    # (bsub), job completion releasing an allocation,
+                    # requeue, kill_node/restore_node, shutdown — so an
+                    # idle dispatcher sleeps until one arrives.
+                    self._wake.wait()
 
     def _dispatch_once_locked(self) -> bool:
         """One scheduling pass: queue priority first, then submit order.

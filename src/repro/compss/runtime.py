@@ -33,6 +33,7 @@ from repro.compss.future import Future
 from repro.compss.parameter import Direction
 from repro.compss.scheduler import FIFOPolicy, InstrumentedPolicy, SchedulerPolicy
 from repro.compss.task_graph import TaskGraph, TaskNode, TaskState
+from repro.compss.timerwheel import TimerWheel
 from repro.compss.tracing import TaskEvent, Tracer
 from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
@@ -111,6 +112,14 @@ class RuntimeConfig:
         paper's "data could be kept in memory" reuse).  ``0`` (the
         default) keeps the historical charge-every-consumption
         accounting.
+    poll_interval_s:
+        Compatibility knob for the pre-event-driven scheduler.  ``0``
+        (the default) makes idle workers sleep until a real event —
+        submission, completion, node restore, or a backoff/grace
+        deadline from the timer wheel.  A positive value restores the
+        old behaviour of re-polling the ready queue on that interval;
+        it exists so benchmarks (C9) can quantify the orchestration
+        overhead the event-driven core removes.
     """
 
     n_workers: int = 4
@@ -131,6 +140,7 @@ class RuntimeConfig:
     blacklist_grace_s: float = 0.5
     fault_injector: Optional[Any] = None
     worker_cache_bytes: int = 0
+    poll_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -145,6 +155,8 @@ class RuntimeConfig:
             raise ValueError("transient_retries must be >= 0")
         if self.retry_backoff_base < 0 or self.retry_backoff_cap < 0:
             raise ValueError("backoff parameters must be non-negative")
+        if self.poll_interval_s < 0:
+            raise ValueError("poll_interval_s must be >= 0")
 
 
 #: Slot addressing for INOUT-written future parameters.
@@ -167,6 +179,11 @@ class COMPSsRuntime:
 
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
+        #: Poll-mode workers wait here instead of ``_wake``: nothing
+        #: notifies it except shutdown, so readiness is observed only at
+        #: tick boundaries — the legacy behaviour the event-driven core
+        #: replaced, kept faithful so C9 measures a real baseline.
+        self._poll = threading.Condition(self._lock)
         self._ready: List[TaskNode] = []
         self._pending_deps: Dict[int, int] = {}
         self._free_units = int(self.config.computing_units)
@@ -175,6 +192,14 @@ class COMPSsRuntime:
         self._workflow_error: Optional[TaskFailedError] = None
         self._shutdown = False
         self._active_tasks = 0
+        #: Deadline wake-ups for retry backoff and blacklist-grace
+        #: expiry: the only time-based events the scheduler has, now
+        #: delivered as notifications instead of worker-side re-polling.
+        self._timers = TimerWheel(name="compss-timers")
+        #: Callbacks fired once, outside the lock, when the first
+        #: workflow error is recorded (drivers use this to interrupt
+        #: blocked stream consumers without polling ``failed``).
+        self._failure_listeners: List[Any] = []
         #: Data-movement accounting: a dependency consumed on the worker
         #: that produced it is a "local hit"; a dependency already in the
         #: worker's resident set is a "cache hit"; otherwise the
@@ -350,7 +375,25 @@ class COMPSsRuntime:
                         return
                     node = self._select_runnable(worker_id)
                     if node is None:
-                        self._wake.wait(timeout=0.1)
+                        if self.config.poll_interval_s:
+                            # Legacy polling: sleep a full tick on a
+                            # condition readiness events never notify
+                            # (``_poll`` shares the lock with ``_wake``
+                            # but only shutdown signals it), so a task
+                            # becoming ready mid-tick waits for the
+                            # next poll — the baseline C9 quantifies.
+                            self._poll.wait(
+                                timeout=self.config.poll_interval_s
+                            )
+                        else:
+                            # Event-driven: sleep until notified.
+                            # Every transition that can make a task
+                            # runnable notifies this condition —
+                            # submission, completion, resubmission,
+                            # cancellation, shutdown — and the timer
+                            # wheel covers backoff and blacklist-grace
+                            # deadlines.
+                            self._wake.wait()
                 self._free_units -= node.computing_units
                 node.state = TaskState.RUNNING
                 node.worker_id = worker_id
@@ -704,6 +747,17 @@ class COMPSsRuntime:
             self._free_units += node.computing_units
             self._ready.append(node)
             self._wake.notify_all()
+        # Idle workers sleep untimed, so the two time-based windows this
+        # resubmission opens are turned into explicit wake-ups: one when
+        # the backoff expires, one when the blacklist grace lapses and
+        # the previously failing workers become eligible again.
+        if backoff > 0:
+            self._timers.schedule(node.not_before, self._notify_ready)
+        if node.blacklisted_workers and self.config.blacklist_grace_s > 0:
+            self._timers.schedule(
+                node.not_before + self.config.blacklist_grace_s,
+                self._notify_ready,
+            )
         get_registry().counter(
             "compss_tasks_retried_total",
             "Task resubmissions by function and cause",
@@ -727,6 +781,11 @@ class COMPSsRuntime:
             attempt=node.attempts, reason=reason,
             backoff_s=round(backoff, 6), error=repr(exc),
         )
+
+    def _notify_ready(self) -> None:
+        """Wake every waiter on the ready-queue condition (timer payload)."""
+        with self._wake:
+            self._wake.notify_all()
 
     def _handle_failure(self, node: TaskNode, exc: BaseException) -> None:
         policy = node.on_failure
@@ -764,13 +823,22 @@ class COMPSsRuntime:
                 future._set_exception(error)
 
         cancel_ids = self.graph.descendants(node.task_id)
+        listeners: List[Any] = []
         with self._wake:
             node.state = TaskState.FAILED
             if policy is not OnFailure.CANCEL_SUCCESSORS:
+                if self._workflow_error is None:
+                    listeners = self._failure_listeners
+                    self._failure_listeners = []
                 self._workflow_error = error
             self._finish_locked(node)
             for cid in sorted(cancel_ids):
                 self._cancel_locked(cid, cause=error)
+        for callback in listeners:
+            try:
+                callback()
+            except Exception:  # noqa: BLE001 - listeners must not mask
+                pass          # the workflow error being propagated
 
     def _cancel_locked(
         self, task_id: int, cause: Optional[BaseException] = None
@@ -842,19 +910,35 @@ class COMPSsRuntime:
     # ------------------------------------------------------------------
 
     def wait_on(self, obj: Any, timeout: Optional[float] = None) -> Any:
-        """Synchronise: block for futures (recursively through containers)."""
+        """Synchronise: block for futures (recursively through containers).
+
+        *timeout* bounds the whole synchronisation: one monotonic
+        deadline is shared by every future encountered while recursing,
+        so waiting on a container of N futures blocks at most *timeout*
+        seconds total — not ``2 × N × timeout`` as the historical
+        per-wait application of the parameter allowed.
+        """
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        return self._wait_on_deadline(obj, deadline)
+
+    def _wait_on_deadline(self, obj: Any, deadline: Optional[float]) -> Any:
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - _time.monotonic())
+
         if isinstance(obj, Future):
             writer = obj.last_writer_id
             if writer is not None:
-                if not self.graph.task(writer).done_event.wait(timeout):
+                if not self.graph.task(writer).done_event.wait(remaining()):
                     raise TimeoutError(f"task {writer} did not finish in time")
-            return obj.result(timeout)
+            return obj.result(remaining())
         if isinstance(obj, list):
-            return [self.wait_on(v, timeout) for v in obj]
+            return [self._wait_on_deadline(v, deadline) for v in obj]
         if isinstance(obj, tuple):
-            return tuple(self.wait_on(v, timeout) for v in obj)
+            return tuple(self._wait_on_deadline(v, deadline) for v in obj)
         if isinstance(obj, dict):
-            return {k: self.wait_on(v, timeout) for k, v in obj.items()}
+            return {k: self._wait_on_deadline(v, deadline) for k, v in obj.items()}
         return obj
 
     def barrier(self, timeout: Optional[float] = None, raise_on_error: bool = True) -> None:
@@ -871,7 +955,10 @@ class COMPSsRuntime:
                     raise TimeoutError(
                         f"barrier timed out with {self._active_tasks} live tasks"
                     )
-                self._wake.wait(timeout=remaining if remaining is not None else 0.2)
+                # Without a caller deadline this wait is untimed: every
+                # task-terminal transition notifies the condition, so
+                # there is nothing to re-check until one arrives.
+                self._wake.wait(timeout=remaining)
         if raise_on_error and self._workflow_error is not None:
             raise self._workflow_error
 
@@ -879,6 +966,25 @@ class COMPSsRuntime:
     def failed(self) -> bool:
         with self._lock:
             return self._workflow_error is not None
+
+    def add_failure_listener(self, callback) -> None:
+        """Register *callback* to fire once when the workflow first fails.
+
+        Fires immediately (on the calling thread) when the runtime has
+        already failed; otherwise on the worker thread that records the
+        first terminal error, outside the runtime lock.  This is the
+        event-driven replacement for polling :attr:`failed`: stream
+        consumers register an interrupt (e.g. ``collector.close``) so a
+        blocked wait wakes the moment the workflow dies.
+        """
+        fire_now = False
+        with self._lock:
+            if self._workflow_error is not None:
+                fire_now = True
+            else:
+                self._failure_listeners.append(callback)
+        if fire_now:
+            callback()
 
     def status(self) -> Dict[str, Any]:
         """Live monitoring snapshot (the WMS 'monitoring' feature of §2).
@@ -932,7 +1038,9 @@ class COMPSsRuntime:
                         )
             self._shutdown = True
             self._wake.notify_all()
+            self._poll.notify_all()
         for w in self._workers:
             w.join(timeout=5)
+        self._timers.stop()
         with self._lock:
             self._object_writers.clear()

@@ -100,6 +100,14 @@ class FileDistroStream:
     consuming task polls the stream and reacts to fresh paths.  Files are
     reported exactly once, in sorted-name order per poll.
 
+    Attached to a :class:`~repro.cluster.filesystem.SharedFilesystem`
+    (the *filesystem* parameter or :meth:`attach_filesystem`), the stream
+    is fully event-driven: every write under the watched directory
+    notifies blocked pollers, which then sleep untimed between events.
+    Unattached, it falls back to rescanning every *poll_interval*
+    seconds, which also covers producers that bypass the filesystem
+    facade (plain ``open``).
+
     Parameters
     ----------
     directory:
@@ -107,7 +115,10 @@ class FileDistroStream:
     pattern:
         ``fnmatch`` pattern on the file name (default ``*``).
     poll_interval:
-        Sleep between directory scans while blocking.
+        Sleep between directory scans while blocking *without* an
+        attached filesystem.
+    filesystem:
+        Optional shared filesystem whose write events wake pollers.
     """
 
     def __init__(
@@ -115,29 +126,72 @@ class FileDistroStream:
         directory: str | os.PathLike,
         pattern: str = "*",
         poll_interval: float = 0.02,
+        filesystem=None,
     ) -> None:
         self.directory = os.fspath(directory)
         self.pattern = pattern
         self.poll_interval = poll_interval
         self._seen: set = set()
-        self._closed = threading.Event()
         self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._fs = None
+        self._fs_listener = None
+        if filesystem is not None:
+            self.attach_filesystem(filesystem)
 
-    def _scan(self) -> List[str]:
+    # -- event wiring --------------------------------------------------------
+
+    def attach_filesystem(self, filesystem) -> "FileDistroStream":
+        """Wake pollers on every write the filesystem lands under us."""
+        self.detach_filesystem()
+        watched = os.path.abspath(self.directory)
+
+        def on_write(rel_path: str, _root=filesystem.root, _dir=watched) -> None:
+            host = os.path.abspath(os.path.join(_root, rel_path))
+            # Prefix match (not exact-parent): writes in subdirectories
+            # trigger a spurious-but-harmless rescan, a miss would lose
+            # a wake-up.
+            if host.startswith(_dir + os.sep):
+                self.notify()
+
+        self._fs = filesystem
+        self._fs_listener = on_write
+        filesystem.add_write_listener(on_write)
+        return self
+
+    def detach_filesystem(self) -> None:
+        fs, listener = self._fs, self._fs_listener
+        self._fs = self._fs_listener = None
+        if fs is not None and listener is not None:
+            fs.remove_write_listener(listener)
+
+    @property
+    def event_driven(self) -> bool:
+        """True when write events (not timed rescans) wake pollers."""
+        return self._fs is not None
+
+    def notify(self) -> None:
+        """Wake every blocked poller to rescan (producers/aborters)."""
+        with self._wake:
+            self._wake.notify_all()
+
+    # -- consumption ---------------------------------------------------------
+
+    def _scan_locked(self) -> List[str]:
         if not os.path.isdir(self.directory):
             return []
         fresh = []
-        with self._lock:
-            for name in sorted(os.listdir(self.directory)):
-                if name in self._seen:
-                    continue
-                if not fnmatch.fnmatch(name, self.pattern):
-                    continue
-                # Skip in-flight atomic-write temporaries.
-                if ".tmp." in name:
-                    continue
-                self._seen.add(name)
-                fresh.append(os.path.join(self.directory, name))
+        for name in sorted(os.listdir(self.directory)):
+            if name in self._seen:
+                continue
+            if not fnmatch.fnmatch(name, self.pattern):
+                continue
+            # Skip in-flight atomic-write temporaries.
+            if ".tmp." in name:
+                continue
+            self._seen.add(name)
+            fresh.append(os.path.join(self.directory, name))
         return fresh
 
     def poll(self, timeout: Optional[float] = None, block: bool = True) -> List[str]:
@@ -148,28 +202,39 @@ class FileDistroStream:
         files remain.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            fresh = self._scan()
-            if fresh:
-                return fresh
-            if self._closed.is_set():
-                # One final scan so a close racing the last write loses.
-                fresh = self._scan()
+        with self._wake:
+            while True:
+                fresh = self._scan_locked()
                 if fresh:
                     return fresh
-                if block:
-                    raise StreamClosed("stream closed and drained")
-                return []
-            if not block:
-                return []
-            if deadline is not None and time.monotonic() >= deadline:
-                return []
-            self._closed.wait(self.poll_interval)
+                # The scan above ran after observing any close flag set
+                # before we took the lock, so a close racing the last
+                # write cannot hide a file from us.
+                if self._closed:
+                    if block:
+                        raise StreamClosed("stream closed and drained")
+                    return []
+                if not block:
+                    return []
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return []
+                if self.event_driven:
+                    self._wake.wait(timeout=remaining)
+                else:
+                    self._wake.wait(timeout=(
+                        self.poll_interval if remaining is None
+                        else min(remaining, self.poll_interval)
+                    ))
 
     def close(self) -> None:
         """Mark end-of-stream: the producer will write no more files."""
-        self._closed.set()
+        with self._wake:
+            self._closed = True
+            self._wake.notify_all()
+        self.detach_filesystem()
 
     @property
     def closed(self) -> bool:
-        return self._closed.is_set()
+        with self._lock:
+            return self._closed

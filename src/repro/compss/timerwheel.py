@@ -1,0 +1,95 @@
+"""A deadline timer for the event-driven scheduler core.
+
+The runtime's ready-queue condition is notified by *events* (task
+completion, submission, node restore); the only genuinely time-based
+wake-ups left are retry-backoff windows and blacklist-grace expiries.
+Rather than having every idle worker re-poll on a short timeout, those
+deadlines are registered here: a single lazily-started daemon thread
+sleeps until exactly the earliest deadline and fires its callback
+(typically ``Condition.notify_all`` on the ready queue).
+
+The name follows the classic "timer wheel" used by OS schedulers and
+event loops; with the handful of concurrent deadlines a workflow run
+produces, a binary heap is the right-sized implementation of the same
+contract: O(log n) schedule, wake exactly when the next deadline is due,
+sleep forever when none is pending.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, List, Tuple
+
+__all__ = ["TimerWheel"]
+
+
+class TimerWheel:
+    """Fires callbacks at monotonic-clock deadlines from one daemon thread.
+
+    Callbacks run outside the wheel's internal lock and must be short and
+    non-blocking (the intended payload is a condition notify).  A callback
+    that raises is dropped; it cannot take the timer thread down with it.
+    """
+
+    def __init__(self, name: str = "timer-wheel") -> None:
+        self._name = name
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+
+    def schedule(self, deadline: float, callback: Callable[[], None]) -> None:
+        """Run *callback* once ``time.monotonic()`` reaches *deadline*.
+
+        A deadline already in the past fires promptly (on the timer
+        thread, never inline).  After :meth:`stop`, scheduling is a
+        silent no-op so late registrations on shutdown paths are safe.
+        """
+        with self._cond:
+            if self._stopped:
+                return
+            heapq.heappush(self._heap, (deadline, next(self._seq), callback))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name=self._name, daemon=True
+                )
+                self._thread.start()
+            self._cond.notify_all()
+
+    def stop(self) -> None:
+        """Discard pending deadlines and join the timer thread."""
+        with self._cond:
+            self._stopped = True
+            self._heap.clear()
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def _run(self) -> None:
+        while True:
+            due: List[Callable[[], None]] = []
+            with self._cond:
+                while not due:
+                    if self._stopped:
+                        return
+                    now = time.monotonic()
+                    while self._heap and self._heap[0][0] <= now:
+                        due.append(heapq.heappop(self._heap)[2])
+                    if due:
+                        break
+                    wait = self._heap[0][0] - now if self._heap else None
+                    self._cond.wait(timeout=wait)
+            for callback in due:
+                try:
+                    callback()
+                except Exception:  # noqa: BLE001 - timer thread must survive
+                    pass

@@ -49,14 +49,17 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.netcdf import Dataset
 from repro.observability.metrics import get_registry
-from repro.ophidia.primitives import evaluate_ast, parse_primitive
+from repro.ophidia import kernels as K
+from repro.ophidia.primitives import parse_primitive
 from repro.ophidia.server import OphidiaServer
+from repro.parallel import FragmentKernel
 
 
 @dataclass(frozen=True)
@@ -117,25 +120,10 @@ def _flush_avoided(meter: _AvoidedMeter) -> None:
         ).inc(meter.total)
 
 
-_REDUCERS: Dict[str, Callable[..., np.ndarray]] = {
-    "max": np.max,
-    "min": np.min,
-    "sum": np.sum,
-    "mean": np.mean,
-    "std": np.std,
-    "var": np.var,
-}
-
-_INTERCUBE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
-    "sub": np.subtract,
-    "add": np.add,
-    "mul": np.multiply,
-    "div": np.divide,
-    "greater": lambda a, b: (a > b).astype(np.int8),
-    "greater_equal": lambda a, b: (a >= b).astype(np.int8),
-    "less": lambda a, b: (a < b).astype(np.int8),
-    "less_equal": lambda a, b: (a <= b).astype(np.int8),
-}
+# Historical homes of the operator tables; they now live in
+# :mod:`repro.ophidia.kernels` so both execution backends share them.
+_REDUCERS = K.REDUCERS
+_INTERCUBE_OPS = K.INTERCUBE_OPS
 
 
 class Cube:
@@ -386,30 +374,22 @@ class Cube:
         steps.reverse()
         return cube, steps
 
-    def _resolved(self, count_final: bool = True):
+    def _resolved(self):
         with self._server._plan_lock:
-            return self._resolved_locked(count_final=count_final)
+            return self._resolved_locked()
 
-    def _resolved_locked(
-        self,
-        count_final: bool = True,
-        reuse: bool = True,
-        meter: Optional[_AvoidedMeter] = None,
-    ):
-        """Resolve this cube's chain into ``(refs, chain_fn, meter, ops)``.
+    def _resolved_locked(self, reuse: bool = True):
+        """Resolve this cube's chain into ``(refs, stages, ops)``.
 
-        ``refs`` are the concrete base fragments; ``chain_fn(data, i)``
-        runs the fused per-fragment expression (None when the cube is
-        already concrete); ``ops`` names the fused operators in
-        execution order.  *count_final* controls whether the final
-        chain output counts toward avoided-materialisation bytes (it
-        must not when the caller is about to store that output, i.e.
-        :meth:`materialize`).  *reuse* enables materialise-on-reuse and
-        eval counting; it is off while materialising a reused ancestor
-        so one forced chain cannot cascade into materialising every
-        intermediate below it.
+        ``refs`` are the concrete base fragments; ``stages`` is the
+        fused per-fragment chain as picklable kernel stages (empty when
+        the cube is already concrete; see
+        :mod:`repro.ophidia.kernels` for the stage protocol); ``ops``
+        names the fused operators in execution order.  *reuse* enables
+        materialise-on-reuse and eval counting; it is off while
+        materialising a reused ancestor so one forced chain cannot
+        cascade into materialising every intermediate below it.
         """
-        meter = meter if meter is not None else _AvoidedMeter()
         base, steps = self._plan_chain()
         if base._deleted:
             raise RuntimeError(f"cube {base.cube_id} has been deleted")
@@ -426,49 +406,30 @@ class Cube:
             for cube, _ in steps:
                 cube._evals += 1
         if not steps:
-            return base._fragments, None, meter, []
+            return base._fragments, [], []
 
-        pool = self._server.pool
         frag_axis = base._axis(base.fragment_dim)
         bounds = self._bounds
-        stages: List[Callable[[np.ndarray, int], np.ndarray]] = []
+        stages: List[Callable[..., Tuple[np.ndarray, int]]] = []
         ops: List[str] = []
         for _, step in steps:
             ops.append(step.op)
             if step.kind == "apply":
                 _query, ast = step.params
-                stages.append(
-                    lambda data, i, _ast=ast: evaluate_ast(_ast, data)
-                )
+                stages.append(partial(K.stage_apply, ast=ast))
             elif step.kind == "transform":
                 (fn,) = step.params
-
-                def _transform(data, i, _fn=fn):
-                    out = np.asarray(_fn(data))
-                    if out.shape != data.shape:
-                        raise ValueError(
-                            "transform callable must preserve fragment shape"
-                        )
-                    return out
-
-                stages.append(_transform)
+                stages.append(partial(K.stage_transform, fn=fn))
             elif step.kind == "subset":
                 s_axis, s_start, s_stop = step.params
-
-                def _subset(data, i, _axis=s_axis, _start=s_start, _stop=s_stop):
-                    indexer = [slice(None)] * data.ndim
-                    indexer[_axis] = slice(_start, _stop)
-                    return np.ascontiguousarray(data[tuple(indexer)])
-
-                stages.append(_subset)
+                stages.append(
+                    partial(K.stage_subset, axis=s_axis, start=s_start, stop=s_stop)
+                )
             elif step.kind == "runlength":
                 (r_axis,) = step.params
-                stages.append(
-                    lambda data, i, _axis=r_axis: _run_lengths(data > 0, _axis)
-                )
+                stages.append(partial(K.stage_runlength, axis=r_axis))
             elif step.kind == "intercube":
                 other, op_name = step.params
-                op = _INTERCUBE_OPS[op_name]
                 if (
                     reuse
                     and other._fragments is None
@@ -486,40 +447,76 @@ class Cube:
                     and other._bounds == bounds
                 )
                 if aligned:
-                    orefs, ofn, _, oops = other._resolved_locked(
-                        count_final=True, reuse=reuse, meter=meter
-                    )
+                    orefs, ostages, oops = other._resolved_locked(reuse=reuse)
                     ops.extend(oops)
-
-                    def _intercube(data, i, _orefs=orefs, _ofn=ofn, _op=op):
-                        b = opool.load(_orefs[i].fragment_id)
-                        if _ofn is not None:
-                            b = _ofn(b, i)
-                        return np.asarray(_op(data, b))
-
-                    stages.append(_intercube)
+                    # Preload the operand's base fragments now: the stage
+                    # itself then needs no storage-pool access and can run
+                    # in a worker process.
+                    operands = tuple(
+                        opool.load(ref.fragment_id) for ref in orefs
+                    )
+                    stages.append(
+                        partial(
+                            K.stage_binop, op_name=op_name,
+                            operands=operands,
+                            operand_stages=tuple(ostages),
+                        )
+                    )
                 else:
                     other_full = other.to_array()
-
-                    def _intercube_gathered(data, i, _full=other_full, _op=op):
-                        indexer = [slice(None)] * _full.ndim
-                        indexer[frag_axis] = slice(bounds[i][0], bounds[i][1])
-                        return np.asarray(_op(data, _full[tuple(indexer)]))
-
-                    stages.append(_intercube_gathered)
+                    stages.append(
+                        partial(
+                            K.stage_binop_full, op_name=op_name,
+                            full=other_full, frag_axis=frag_axis,
+                            bounds=bounds,
+                        )
+                    )
             else:  # pragma: no cover - steps are built internally
                 raise RuntimeError(f"unknown plan step kind {step.kind!r}")
 
-        last = len(stages) - 1
+        return base._fragments, stages, ops
 
-        def chain_fn(data: np.ndarray, i: int) -> np.ndarray:
-            for k, stage in enumerate(stages):
-                data = stage(data, i)
-                if count_final or k < last:
-                    meter.add(data.nbytes)
-            return data
+    def _run_kernel_sweep(
+        self,
+        ops: Sequence[str],
+        refs: Sequence[_FragmentRef],
+        stages: Sequence[Callable[..., Tuple[np.ndarray, int]]],
+        n_metered: int,
+        **attrs: Any,
+    ) -> List[np.ndarray]:
+        """Execute a compiled kernel over *refs* on the server's backend.
 
-        return base._fragments, chain_fn, meter, ops
+        The first *n_metered* stage outputs count toward avoided
+        materialisations.  The process backend (when configured and the
+        kernel pickles) receives preloaded input arrays and returns the
+        accumulated avoided-bytes count alongside the results; the
+        thread path meters through a shared
+        :class:`_AvoidedMeter`.  Both flush the same counter, so the
+        fusion metrics do not depend on the backend.
+        """
+        kernel = FragmentKernel(tuple(stages), n_metered)
+        pool = self._server.pool
+        meter = _AvoidedMeter()
+        if self._server.process_kernel_ready(kernel):
+            inputs = [pool.load(ref.fragment_id) for ref in refs]
+            arrays, avoided = self._server.sweep_kernel(
+                ops, kernel, inputs, cube_id=self.cube_id, **attrs
+            )
+            meter.add(avoided)
+        else:
+
+            def work(item):
+                i, ref = item
+                out, avoided = kernel.run(pool.load(ref.fragment_id), i)
+                meter.add(avoided)
+                return out
+
+            arrays = self._server.sweep(
+                ops, work, list(enumerate(refs)),
+                cube_id=self.cube_id, **attrs,
+            )
+        _flush_avoided(meter)
+        return arrays
 
     def materialize(self) -> "Cube":
         """Force evaluation now, writing this cube's fragments to storage.
@@ -535,23 +532,14 @@ class Cube:
     def _materialize_locked(self, reason: str) -> None:
         if self._fragments is not None:
             return
-        refs, chain_fn, meter, ops = self._resolved_locked(
-            count_final=False, reuse=False
+        refs, stages, ops = self._resolved_locked(reuse=False)
+        # The final chain output is about to be stored, so it does not
+        # count as an avoided materialisation.
+        arrays = self._run_kernel_sweep(
+            ops + ["oph_materialize"], refs, stages,
+            n_metered=max(0, len(stages) - 1), reason=reason,
         )
         pool = self._server.pool
-
-        def work(item):
-            i, ref = item
-            data = pool.load(ref.fragment_id)
-            if chain_fn is not None:
-                data = chain_fn(data, i)
-            return data
-
-        arrays = self._server.sweep(
-            ops + ["oph_materialize"], work, list(enumerate(refs)),
-            cube_id=self.cube_id, reason=reason,
-        )
-        _flush_avoided(meter)
         self._fragments = tuple(
             _FragmentRef(pool.store(np.ascontiguousarray(arr)), start, stop)
             for arr, (start, stop) in zip(arrays, self._bounds)
@@ -590,32 +578,25 @@ class Cube:
     def _consume(
         self,
         terminal_op: str,
-        fn_arr: Callable[[np.ndarray, int], np.ndarray],
+        terminal_stage: Callable[..., Tuple[np.ndarray, int]],
         new_dims: Sequence[DimensionInfo],
         description: str,
         measure: Optional[str] = None,
     ) -> "Cube":
-        """Run the fused chain plus *fn_arr* in one sweep; store the result.
+        """Run the fused chain plus *terminal_stage* in one sweep; store it.
 
         This is both the eager execution path (empty chain, single
         operator) and the lazy barrier path (the chain streams into the
         terminal operator without materialising intermediates).
+        *terminal_stage* follows the kernel stage protocol
+        (:mod:`repro.ophidia.kernels`); only the chain stages before it
+        are metered as avoided materialisations.
         """
-        refs, chain_fn, meter, ops = self._resolved()
-        pool = self._server.pool
-
-        def work(item):
-            i, ref = item
-            data = pool.load(ref.fragment_id)
-            if chain_fn is not None:
-                data = chain_fn(data, i)
-            return fn_arr(data, i)
-
-        arrays = self._server.sweep(
-            ops + [terminal_op], work, list(enumerate(refs)),
-            cube_id=self.cube_id,
+        refs, stages, ops = self._resolved()
+        arrays = self._run_kernel_sweep(
+            ops + [terminal_op], refs, list(stages) + [terminal_stage],
+            n_metered=len(stages),
         )
-        _flush_avoided(meter)
         return self._derive(new_dims, arrays, self._bounds, description, measure)
 
     def apply(self, query: str, description: str = "") -> "Cube":
@@ -631,8 +612,7 @@ class Cube:
                 self.dims, description,
             )
         return self._consume(
-            "oph_apply",
-            lambda data, i: evaluate_ast(ast, data),
+            "oph_apply", partial(K.stage_apply, ast=ast),
             self.dims, description,
         )
 
@@ -649,14 +629,10 @@ class Cube:
                 _PlanStep("oph_transform", "transform", (fn,)),
                 self.dims, description,
             )
-
-        def work(data: np.ndarray, i: int) -> np.ndarray:
-            out = np.asarray(fn(data))
-            if out.shape != data.shape:
-                raise ValueError("transform callable must preserve fragment shape")
-            return out
-
-        return self._consume("oph_transform", work, self.dims, description)
+        return self._consume(
+            "oph_transform", partial(K.stage_transform, fn=fn),
+            self.dims, description,
+        )
 
     def reduce(
         self, operation: str, dim: str = "time", description: str = ""
@@ -695,8 +671,7 @@ class Cube:
             return cube
 
         return self._consume(
-            "oph_reduce",
-            lambda data, i: np.asarray(reducer(data, axis=axis)),
+            "oph_reduce", partial(K.stage_reduce, op=operation, axis=axis),
             new_dims, description,
         )
 
@@ -716,8 +691,7 @@ class Cube:
             raise ValueError("percentile along the fragment dim is unsupported")
 
         return self._consume(
-            "oph_percentile",
-            lambda data, i: np.percentile(data, q, axis=axis),
+            "oph_percentile", partial(K.stage_percentile, q=q, axis=axis),
             new_dims, description,
         )
 
@@ -751,15 +725,17 @@ class Cube:
             dim=dim, group_size=group_size,
         )
 
-        def work(data: np.ndarray, i: int) -> np.ndarray:
-            shape = list(data.shape)
-            shape[axis:axis + 1] = [n_groups, group_size]
-            return np.asarray(reducer(data.reshape(shape), axis=axis + 1))
-
         new_dims = [
             d if d.name != dim else d.with_size(n_groups) for d in self.dims
         ]
-        return self._consume("oph_reduce2", work, new_dims, description)
+        return self._consume(
+            "oph_reduce2",
+            partial(
+                K.stage_reduce2, op=operation, axis=axis,
+                n_groups=n_groups, group_size=group_size,
+            ),
+            new_dims, description,
+        )
 
     def intercube(
         self, other: "Cube", operation: str = "sub", description: str = ""
@@ -792,20 +768,21 @@ class Cube:
             and other._bounds == self._bounds
         )
         axis = self._axis(self.fragment_dim)
-        other_full = None if aligned else other.to_array()
-        opool = other._server.pool
-
-        def work(data: np.ndarray, i: int) -> np.ndarray:
-            if aligned:
-                b = opool.load(other._fragments[i].fragment_id)
-            else:
-                start, stop = self._bounds[i]
-                indexer = [slice(None)] * len(self.shape)
-                indexer[axis] = slice(start, stop)
-                b = other_full[tuple(indexer)]
-            return np.asarray(op(data, b))
-
-        return self._consume("oph_intercube", work, self.dims, description)
+        if aligned:
+            opool = other._server.pool
+            operands = tuple(
+                opool.load(ref.fragment_id) for ref in other._fragments
+            )
+            stage = partial(
+                K.stage_binop, op_name=operation,
+                operands=operands, operand_stages=(),
+            )
+        else:
+            stage = partial(
+                K.stage_binop_full, op_name=operation,
+                full=other.to_array(), frag_axis=axis, bounds=self._bounds,
+            )
+        return self._consume("oph_intercube", stage, self.dims, description)
 
     def subset(self, dim: str, start: int, stop: int, description: str = "") -> "Cube":
         """Slice ``[start, stop)`` along *dim* (index space)."""
@@ -841,12 +818,11 @@ class Cube:
                 new_dims, description,
             )
 
-        def work(data: np.ndarray, i: int) -> np.ndarray:
-            indexer = [slice(None)] * data.ndim
-            indexer[axis] = slice(start, stop)
-            return np.ascontiguousarray(data[tuple(indexer)])
-
-        return self._consume("oph_subset", work, new_dims, description)
+        return self._consume(
+            "oph_subset",
+            partial(K.stage_subset, axis=axis, start=start, stop=stop),
+            new_dims, description,
+        )
 
     def runlength(self, dim: str = "time", description: str = "") -> "Cube":
         """Lengths of completed runs of positive values along *dim*.
@@ -869,8 +845,7 @@ class Cube:
                 self.dims, description,
             )
         return self._consume(
-            "oph_runlength",
-            lambda data, i: _run_lengths(data > 0, axis),
+            "oph_runlength", partial(K.stage_runlength, axis=axis),
             self.dims, description,
         )
 
@@ -974,23 +949,16 @@ class Cube:
                 self._fragments,
             )
         else:
-            refs, chain_fn, meter, ops = self._resolved()
-            pool = self._server.pool
-
-            def work(item):
-                i, ref = item
-                data = pool.load(ref.fragment_id)
-                if chain_fn is not None:
-                    data = chain_fn(data, i)
-                return data
-
+            refs, stages, ops = self._resolved()
             if ops:
-                parts = self._server.sweep(
-                    ops, work, list(enumerate(refs)), cube_id=self.cube_id
+                parts = self._run_kernel_sweep(
+                    ops, refs, stages, n_metered=len(stages)
                 )
-                _flush_avoided(meter)
             else:
-                parts = self._server.map_fragments(work, list(enumerate(refs)))
+                pool = self._server.pool
+                parts = self._server.map_fragments(
+                    lambda ref: pool.load(ref.fragment_id), refs
+                )
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts, axis=axis)
@@ -1087,19 +1055,6 @@ class _ServerClient:
         self.server = server
 
 
-def _run_lengths(mask: np.ndarray, axis: int) -> np.ndarray:
-    """Completed-run lengths of True values along *axis* (int32).
-
-    Output[t] = k if a maximal run of k consecutive True values ends at
-    position t, else 0.
-    """
-    mask = np.asarray(mask, dtype=bool)
-    moved = np.moveaxis(mask, axis, 0)
-    steps = moved.shape[0]
-    running = np.zeros(moved.shape[1:], dtype=np.int32)
-    out = np.zeros(moved.shape, dtype=np.int32)
-    for t in range(steps):
-        running = (running + 1) * moved[t]
-        ends = moved[t] & (~moved[t + 1] if t + 1 < steps else True)
-        out[t] = np.where(ends, running, 0)
-    return np.moveaxis(out, 0, axis)
+# Historical home of the run-length kernel; now in
+# :mod:`repro.ophidia.kernels`.
+_run_lengths = K.run_lengths

@@ -28,6 +28,17 @@ class WorkflowParams:
     ophidia_cores: int = 2
     ophidia_lazy: bool = True    # fuse operator chains into single sweeps
     nfrag: int = 4
+    #: Where NumPy-heavy kernels execute: ``"thread"`` (default) shares
+    #: the interpreter and relies on GIL-releasing kernels;
+    #: ``"process"`` runs Ophidia fragment sweeps and the ESM baseline
+    #: on a spawn-based process pool with shared-memory array transport,
+    #: parallelising even GIL-holding Python stages across cores.
+    execution_backend: str = "thread"
+    #: Cores per simulated node for CLI/benchmark ``laptop_like``
+    #: clusters.  Explicit and deterministic — never derived from
+    #: ``os.cpu_count()`` — so scheduling order and perf baselines do
+    #: not depend on the host machine.
+    cluster_cores_per_node: int = 4
 
     threshold_k: float = 5.0
     min_length_days: int = 6
@@ -87,6 +98,13 @@ class WorkflowParams:
             raise ValueError("tc_target_grid must be divisible by tc_patch")
         if self.worker_cache_bytes < 0 or self.fs_cache_bytes < 0:
             raise ValueError("cache byte budgets must be non-negative")
+        if self.execution_backend not in ("thread", "process"):
+            raise ValueError(
+                f"execution_backend must be 'thread' or 'process', "
+                f"got {self.execution_backend!r}"
+            )
+        if self.cluster_cores_per_node < 1:
+            raise ValueError("cluster_cores_per_node must be >= 1")
 
     @classmethod
     def from_dict(cls, params: Dict[str, Any]) -> "WorkflowParams":

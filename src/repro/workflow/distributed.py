@@ -91,23 +91,33 @@ def run_distributed_extreme_events(
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores,
         filesystem=ana.filesystem, lazy=p.ophidia_lazy,
+        backend=p.execution_backend,
     )
-    client = Client(server)
-    collector = YearCollector(sim.filesystem.path(p.output_dir))
-    summary: Dict[str, Any] = {
-        "years": {},
-        "params": {"years": p.years, "n_days": p.n_days},
-    }
-    cube_futures = []
-
-    registry = get_registry()
-    snap_before = registry.snapshot()
-    control = RunControlPlane(
-        "run-distributed", p,
-        p.events_path or ana.filesystem.path(f"{p.results_dir}/events.jsonl"),
-    )
-    control.begin()
+    # Everything below the server construction runs inside its
+    # try/finally: a failure anywhere on the setup path must still
+    # drain the executor pools (thread and process alike).
+    collector = None
+    control = None
     try:
+        client = Client(server)
+        # Attaching the simulation site's filesystem makes the year
+        # monitor event-driven: each daily write wakes it directly.
+        collector = YearCollector(
+            sim.filesystem.path(p.output_dir), filesystem=sim.filesystem
+        )
+        summary: Dict[str, Any] = {
+            "years": {},
+            "params": {"years": p.years, "n_days": p.n_days},
+        }
+        cube_futures = []
+
+        registry = get_registry()
+        snap_before = registry.snapshot()
+        control = RunControlPlane(
+            "run-distributed", p,
+            p.events_path or ana.filesystem.path(f"{p.results_dir}/events.jsonl"),
+        )
+        control.begin()
         with span(
             "workflow.run-distributed", layer="workflow",
             attrs={"years": len(p.years), "n_days": p.n_days,
@@ -116,6 +126,9 @@ def run_distributed_extreme_events(
             n_workers=p.n_workers, scheduler=policy_by_name(p.scheduler),
             worker_cache_bytes=p.worker_cache_bytes,
         ) as runtime:
+            # A workflow failure closes the collector, waking a blocked
+            # monitor task immediately (no timed abort polls).
+            runtime.add_failure_listener(collector.close)
             summary["trace_id"] = root.context.trace_id
             truth_f = tasks.esm_simulation(
                 sim.filesystem, list(p.years), p.n_days, p.n_lat, p.n_lon,
@@ -123,7 +136,8 @@ def run_distributed_extreme_events(
             )
             # The baseline climatology is computed where it is consumed.
             baseline_path_f = tasks.write_baseline(
-                ana.filesystem, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days
+                ana.filesystem, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days,
+                executor=server.process_backend,
             )
             shared_baseline = tasks.load_baseline_cubes(
                 client, baseline_path_f, p.nfrag, p.n_days
@@ -220,10 +234,12 @@ def run_distributed_extreme_events(
                 "ana_site_reads": ana.filesystem.stats.reads,
             }
     except BaseException as exc:
-        control.fail(exc)
+        if control is not None:
+            control.fail(exc)
         raise
     finally:
-        collector.close()
+        if collector is not None:
+            collector.close()
         server.shutdown()
 
     # Root span closed with the ``with`` block above: export the run's

@@ -58,11 +58,20 @@ class YearCollector:
     Several per-year monitor tasks call :meth:`collect_year`
     concurrently; whichever thread polls distributes fresh files into
     per-year buckets and wakes the others.
+
+    With *filesystem* given, the underlying stream is event-driven
+    (woken by write events) and collectors block untimed between events;
+    the drivers additionally register :meth:`close` as a runtime failure
+    listener, so a dying workflow wakes every blocked collector instead
+    of relying on timed *abort* re-polls.  Without a filesystem the
+    historical timed rescans remain as the fallback.
     """
 
     def __init__(self, directory: str, pattern: str = "cmcc_cm3_*.rnc",
-                 poll_interval: float = 0.02) -> None:
-        self._stream = FileDistroStream(directory, pattern, poll_interval)
+                 poll_interval: float = 0.02, filesystem=None) -> None:
+        self._stream = FileDistroStream(
+            directory, pattern, poll_interval, filesystem=filesystem
+        )
         self._by_year: Dict[int, List[str]] = defaultdict(list)
         self._cond = threading.Condition()
         self._polling = False
@@ -80,11 +89,15 @@ class YearCollector:
     ) -> List[str]:
         """Block until *n_days* files of *year* exist; chronological paths.
 
-        *abort* is polled between stream polls; when it returns True the
+        *abort* is re-checked on every wake-up; when it returns True the
         wait gives up with :class:`StreamClosed` — the pipelined driver
         passes the runtime's failure flag so a dead simulation cannot
-        park the dispatch loop forever.
+        park the dispatch loop forever.  (Event-driven collectors wake
+        on writes and on :meth:`close`; callers whose abort condition
+        can flip without either event should also arrange a wake-up,
+        as the drivers do via ``runtime.add_failure_listener``.)
         """
+        event_driven = self._stream.event_driven
         while True:
             with self._cond:
                 files = self._by_year.get(year, [])
@@ -100,12 +113,14 @@ class YearCollector:
                         f"stream closed with {len(files)}/{n_days} files for {year}"
                     )
                 if self._polling:
-                    self._cond.wait(timeout=0.05)
+                    self._cond.wait(timeout=None if event_driven else 0.05)
                     continue
                 self._polling = True
             fresh: List[str] = []
             try:
-                fresh = self._stream.poll(timeout=0.2, block=True)
+                fresh = self._stream.poll(
+                    timeout=None if event_driven else 0.2, block=True
+                )
             except StreamClosed:
                 with self._cond:
                     self._closed = True
@@ -398,20 +413,25 @@ def _run_traced(
 
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores, filesystem=fs,
-        lazy=p.ophidia_lazy,
+        lazy=p.ophidia_lazy, backend=p.execution_backend,
     )
-    client = Client(server)
-    collector = YearCollector(fs.path(p.output_dir))
-
-    checkpoint = CheckpointManager(p.checkpoint_dir) if p.checkpoint_dir else None
-    summary: Dict[str, Any] = {"years": {}, "params": {"years": p.years, "n_days": p.n_days}}
-    cube_futures = []
-    registry = get_registry()
-
-    # The reuse layer: node-local block cache in front of the shared
-    # filesystem (repeated daily-file reads become memory hits) ...
-    fs.configure_cache(p.fs_cache_bytes)
+    # Everything below the server construction runs inside its
+    # try/finally: a failure anywhere on the setup path must still
+    # drain the executor pools, or chaos runs leak them between
+    # experiments.
+    collector = None
     try:
+        client = Client(server)
+        collector = YearCollector(fs.path(p.output_dir), filesystem=fs)
+
+        checkpoint = CheckpointManager(p.checkpoint_dir) if p.checkpoint_dir else None
+        summary: Dict[str, Any] = {"years": {}, "params": {"years": p.years, "n_days": p.n_days}}
+        cube_futures = []
+        registry = get_registry()
+
+        # The reuse layer: node-local block cache in front of the shared
+        # filesystem (repeated daily-file reads become memory hits) ...
+        fs.configure_cache(p.fs_cache_bytes)
         with COMPSs(
             n_workers=p.n_workers,
             scheduler=policy_by_name(p.scheduler),
@@ -420,6 +440,9 @@ def _run_traced(
             # output moves to a worker at most once (claim C2).
             worker_cache_bytes=p.worker_cache_bytes,
         ) as runtime:
+            # A workflow failure closes the collector, waking any
+            # blocked collect_year immediately (no timed abort polls).
+            runtime.add_failure_listener(collector.close)
             try:
                 # Step 3: the ESM simulation (runs for the whole projection).
                 truth_f = tasks.esm_simulation(
@@ -428,7 +451,8 @@ def _run_traced(
                     pace_seconds or p.pace_seconds, p.esm_restart_every,
                 )
                 baseline_path_f = tasks.write_baseline(
-                    fs, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days
+                    fs, p.n_lat, p.n_lon, p.scenario, p.seed, p.n_days,
+                    executor=server.process_backend,
                 )
                 if p.sequential:
                     # C1 baseline: no overlap — the whole simulation finishes
@@ -638,7 +662,8 @@ def _run_traced(
                 # watching the output directory.
                 collector.close()
     finally:
-        collector.close()
+        if collector is not None:
+            collector.close()
         server.shutdown()
 
     return summary, runtime
