@@ -1,0 +1,169 @@
+"""C11 — multi-tenant service throughput on one fixed-size cluster.
+
+Four tenants share the 8-core simulated cluster through the workflow
+service: each submits one 2-core ESM ensemble member plus two 1-core
+heat-wave analytics jobs (the paper's big-simulation / small-analytics
+mix).  The fair-share launcher must *pack* the four ESM members
+side by side — the acceptance bar is at least four concurrent runs from
+four distinct tenants — then drain the analytics wave, with nobody
+starved: every tenant finishes its full submission.
+
+Headline metrics (gated against ``benchmarks/baselines/``):
+
+* ``runs_per_hour`` — completed service jobs per hour of wall clock at
+  this fixed cluster size (higher is better);
+* ``peak_concurrent_runs`` / ``peak_concurrent_tenants`` — maximum
+  simultaneously-running jobs and distinct tenants owning them,
+  reconstructed from the persisted ``started_at``/``finished_at`` rows;
+* ``jobs_completed`` — must be the full 12-job submission.
+
+Per-tenant isolation is asserted inline: a tenant touching another
+tenant's job raises ``PermissionError``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.cluster import laptop_like
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.service import (
+    ANALYTICS_WORKFLOW,
+    ESM_WORKFLOW,
+    JobState,
+    ServiceDB,
+    WorkflowService,
+    build_demo_services,
+)
+
+TENANTS = ("atmos", "ocean", "land", "ice")
+ESM_CORES = 2          # 4 tenants x 2 cores packs the 8-core cluster
+ANALYTICS_PER_TENANT = 2
+JOBS_PER_TENANT = 1 + ANALYTICS_PER_TENANT
+
+
+def peak_concurrency(rows):
+    """Max overlapping runs (and distinct owners) from persisted rows."""
+    events = []
+    for row in rows:
+        if row.started_at is None or row.finished_at is None:
+            continue
+        events.append((row.started_at, 1, row.tenant))
+        events.append((row.finished_at, -1, row.tenant))
+    events.sort(key=lambda e: (e[0], e[1]))
+    live, peak_runs, peak_tenants = {}, 0, 0
+    for _, delta, tenant in events:
+        live[tenant] = live.get(tenant, 0) + delta
+        if live[tenant] == 0:
+            del live[tenant]
+        n_runs = sum(live.values())
+        if n_runs > peak_runs:
+            peak_runs, peak_tenants = n_runs, len(live)
+    return peak_runs, peak_tenants
+
+
+def run_session(tmp_path):
+    """One full multi-tenant session; returns the headline numbers."""
+    db = ServiceDB(str(tmp_path / "runs.db"))
+    for tenant in TENANTS:
+        db.add_tenant(tenant)  # equal shares: fairness = equal service
+    with laptop_like(scratch_root=str(tmp_path / "scratch")) as cluster:
+        _a4c, api = build_demo_services(cluster)
+        service = WorkflowService(db, api, cluster, site="bench")
+        t0 = time.monotonic()
+        with service:
+            jobs = []
+            # The ESM wave first so the launcher packs all four members
+            # side by side, then the analytics fill in behind them.
+            for seed, tenant in enumerate(TENANTS):
+                jobs.append(service.submit(
+                    tenant, ESM_WORKFLOW, cores=ESM_CORES,
+                    n_days=25, n_lat=24, n_lon=36, seed=seed,
+                ))
+            for i in range(ANALYTICS_PER_TENANT):
+                for seed, tenant in enumerate(TENANTS):
+                    jobs.append(service.submit(
+                        tenant, ANALYTICS_WORKFLOW,
+                        n_days=12, seed=100 * i + seed,
+                    ))
+            # Isolation holds while the cluster is busy.
+            for verb in (service.status, service.cancel):
+                with pytest.raises(PermissionError):
+                    verb("ocean", jobs[0].job_id)  # jobs[0] is atmos's
+            service.drain(timeout=300)
+        makespan_s = time.monotonic() - t0
+        report = service.report()
+
+    rows = db.jobs()
+    completed = [r for r in rows if r.state is JobState.COMPLETED]
+    peak_runs, peak_tenants = peak_concurrency(rows)
+    return {
+        "jobs": jobs,
+        "rows": rows,
+        "completed": completed,
+        "report": report,
+        "makespan_s": makespan_s,
+        "runs_per_hour": len(completed) / makespan_s * 3600.0,
+        "peak_concurrent_runs": peak_runs,
+        "peak_concurrent_tenants": peak_tenants,
+    }
+
+
+def test_c11_service_throughput(benchmark, record_bench, tmp_path):
+    previous = get_registry()
+    set_registry(MetricsRegistry())
+    try:
+        session = benchmark.pedantic(
+            lambda: run_session(tmp_path), rounds=1, iterations=1,
+        )
+    finally:
+        set_registry(previous)
+
+    n_jobs = len(TENANTS) * JOBS_PER_TENANT
+    assert len(session["completed"]) == n_jobs, [
+        r.to_json() for r in session["rows"] if r.state is not JobState.COMPLETED
+    ]
+    # The acceptance bar: >= 4 concurrent runs from 4 distinct tenants
+    # packed onto the one cluster.
+    assert session["peak_concurrent_runs"] >= len(TENANTS)
+    assert session["peak_concurrent_tenants"] >= len(TENANTS)
+    # Fair share honored — equal-share tenants all got their full
+    # submission through; nobody starved.
+    for tenant in TENANTS:
+        tenant_report = session["report"]["tenants"][tenant]
+        assert tenant_report["by_state"] == {"COMPLETED": JOBS_PER_TENANT}
+        assert tenant_report["usage_core_s"] > 0
+
+    record_bench(
+        "c11_service_throughput",
+        runs_per_hour=session["runs_per_hour"],
+        peak_concurrent_runs=session["peak_concurrent_runs"],
+        peak_concurrent_tenants=session["peak_concurrent_tenants"],
+        jobs_completed=len(session["completed"]),
+        makespan_s=session["makespan_s"],
+    )
+
+    rows = []
+    for tenant in TENANTS:
+        tenant_report = session["report"]["tenants"][tenant]
+        rows.append([
+            tenant, tenant_report["jobs"],
+            f"{tenant_report['mean_turnaround_s']:.2f}",
+            f"{tenant_report['usage_core_s']:.2f}",
+        ])
+    print_table(
+        "C11: multi-tenant service throughput (4 tenants, 8 cores)",
+        ["tenant", "jobs", "mean turnaround s", "usage core-s"],
+        rows,
+    )
+    print(
+        f"{len(session['completed'])} jobs in {session['makespan_s']:.2f}s "
+        f"= {session['runs_per_hour']:.0f} runs/hour; peak "
+        f"{session['peak_concurrent_runs']} concurrent runs from "
+        f"{session['peak_concurrent_tenants']} tenants"
+    )

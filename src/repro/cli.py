@@ -30,6 +30,13 @@ Commands
 ``slo``
     Evaluate declarative SLO rules against a finished run's metrics;
     exits nonzero on critical breaches.
+``service``
+    Operate the multi-tenant workflow service: create the control-plane
+    database, manage tenants and quotas, inspect job queues, and run
+    the fair-share launcher over the demo workflows.
+``submit``
+    Enqueue a workflow job for a tenant into the service database; a
+    running (or later-started) ``service run`` launches it.
 ``info``
     Print the component inventory and version.
 """
@@ -520,6 +527,128 @@ def _cmd_slo(args) -> int:
     return 1 if report["critical_breaches"] else 0
 
 
+def _open_service_db(args) -> "ServiceDB | None":
+    from repro.observability.history import default_history_path
+    from repro.service import ServiceDB
+
+    db_path = args.db or default_history_path()
+    if not db_path:
+        print("no service database: pass --db PATH or set $REPRO_RUNS_DB",
+              file=sys.stderr)
+        return None
+    return ServiceDB(db_path)
+
+
+def _parse_params(pairs) -> dict:
+    """``key=value`` pairs; values parse as JSON when possible."""
+    params = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad --param {pair!r}: expected key=value")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _cmd_service(args) -> int:
+    """The multi-tenant workflow service control plane."""
+    from repro.service import JobState
+
+    db = _open_service_db(args)
+    if db is None:
+        return 2
+
+    if args.service_command == "init":
+        print(f"service database ready: {db.path} "
+              f"(schema v{db.schema_version()})")
+        return 0
+
+    if args.service_command == "add-tenant":
+        try:
+            tenant = db.add_tenant(
+                args.name, share=args.share, max_running=args.max_running,
+                max_cores=args.max_cores,
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(json.dumps(tenant.to_json(), indent=1))
+        return 0
+
+    if args.service_command == "tenants":
+        tenants = [t.to_json() for t in db.list_tenants()]
+        if args.format == "json":
+            print(json.dumps(tenants, indent=1))
+        else:
+            print(f"{'TENANT':16s} {'SHARE':>6s} {'MAX_RUN':>8s} "
+                  f"{'MAX_CORES':>10s}")
+            for t in tenants:
+                print(f"{t['name']:16s} {t['share']:6g} "
+                      f"{t['max_running']:8d} {t['max_cores']:10d}")
+        return 0
+
+    if args.service_command == "jobs":
+        state = JobState(args.state) if args.state else None
+        jobs = db.jobs(tenant=args.tenant, state=state)
+        if args.format == "json":
+            print(json.dumps([j.to_json() for j in jobs], indent=1))
+        else:
+            print(f"{'JOB':12s} {'TENANT':12s} {'WORKFLOW':24s} "
+                  f"{'STATE':10s} {'CORES':>5s} {'BF':>2s} {'TURNAROUND':>10s}")
+            for j in jobs:
+                turnaround = (f"{j.turnaround_s:.2f}s"
+                              if j.turnaround_s is not None else "-")
+                print(f"{j.job_id:12s} {j.tenant:12s} {j.workflow:24s} "
+                      f"{j.state.value:10s} {j.cores:5d} "
+                      f"{'y' if j.backfilled else '-':>2s} {turnaround:>10s}")
+        return 0
+
+    # run: drain the queued jobs through the fair-share launcher.
+    from repro.cluster import laptop_like
+    from repro.service import WorkflowService, build_demo_services
+
+    with laptop_like(
+        scratch_root=args.scratch, cores_per_node=args.cores_per_node,
+    ) as cluster:
+        _a4c, api = build_demo_services(cluster)
+        service = WorkflowService(db, api, cluster, site=args.site)
+        with service:
+            queued = len(db.jobs(state=JobState.SUBMITTED))
+            print(f"# service up on {cluster.name}: {queued} queued job(s)",
+                  file=sys.stderr)
+            try:
+                service.drain(timeout=args.timeout)
+            except TimeoutError as exc:
+                print(f"# {exc}", file=sys.stderr)
+                return 1
+        report = service.report()
+        if args.report_out:
+            with open(args.report_out, "w") as fh:
+                json.dump(report, fh, indent=1)
+        print(json.dumps(report, indent=1))
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Enqueue a job for a tenant; ``service run`` launches it."""
+    db = _open_service_db(args)
+    if db is None:
+        return 2
+    try:
+        job = db.submit_job(
+            args.tenant, args.workflow, params=_parse_params(args.param),
+            cores=args.cores, memory_gb=args.memory_gb,
+        )
+    except (KeyError, ValueError) as exc:
+        print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
+        return 2
+    print(json.dumps(job.to_json(), indent=1))
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analytics import generate_report
 
@@ -734,6 +863,68 @@ def build_parser() -> argparse.ArgumentParser:
     s_check.add_argument("--report-out", default=None, metavar="PATH",
                          help="also write the report JSON here")
     s_check.set_defaults(fn=_cmd_slo)
+
+    service = sub.add_parser(
+        "service",
+        help="multi-tenant workflow service (tenants, quotas, launcher)",
+    )
+    service_sub = service.add_subparsers(dest="service_command", required=True)
+    sv_init = service_sub.add_parser(
+        "init", help="create (or migrate) the service database"
+    )
+    sv_add = service_sub.add_parser("add-tenant", help="register a tenant")
+    sv_add.add_argument("name")
+    sv_add.add_argument("--share", type=float, default=1.0,
+                        help="fair-share weight (default 1.0)")
+    sv_add.add_argument("--max-running", type=int, default=4,
+                        help="max concurrently running jobs (0 disables "
+                             "the tenant; default 4)")
+    sv_add.add_argument("--max-cores", type=int, default=0,
+                        help="max concurrently held cores (0 = unlimited)")
+    sv_tenants = service_sub.add_parser("tenants", help="list tenants")
+    sv_jobs = service_sub.add_parser("jobs", help="list service jobs")
+    sv_jobs.add_argument("--tenant", default=None,
+                         help="only this tenant's jobs")
+    sv_jobs.add_argument("--state", default=None,
+                         choices=("SUBMITTED", "LAUNCHED", "RUNNING",
+                                  "COMPLETED", "FAILED", "CANCELLED"))
+    sv_run = service_sub.add_parser(
+        "run",
+        help="start the fair-share launcher over the demo workflows and "
+             "drain the queued jobs",
+    )
+    sv_run.add_argument("--site", default="laptop",
+                        help="site name recorded on job rows")
+    sv_run.add_argument("--timeout", type=float, default=300.0,
+                        help="max seconds to wait for the queue to drain")
+    sv_run.add_argument("--scratch", default=None,
+                        help="cluster scratch directory (kept after the run)")
+    sv_run.add_argument("--cores-per-node", type=int, default=4, metavar="N")
+    sv_run.add_argument("--report-out", default=None, metavar="PATH",
+                        help="also write the per-tenant report JSON here")
+    for sp in (sv_init, sv_add, sv_tenants, sv_jobs, sv_run):
+        sp.add_argument("--db", default=None, metavar="PATH",
+                        help="service database (default: $REPRO_RUNS_DB)")
+    for sp in (sv_tenants, sv_jobs):
+        sp.add_argument("--format", choices=("text", "json"), default="text")
+    service.set_defaults(fn=_cmd_service)
+
+    submit = sub.add_parser(
+        "submit",
+        help="enqueue a workflow job for a tenant into the service database",
+    )
+    submit.add_argument("tenant", help="tenant submitting the job")
+    submit.add_argument("workflow",
+                        help="deployed workflow id (e.g. esm-ensemble-member, "
+                             "heatwave-analytics)")
+    submit.add_argument("--cores", type=int, default=1)
+    submit.add_argument("--memory-gb", type=float, default=0.0)
+    submit.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="workflow parameter (repeatable; values parse "
+                             "as JSON when possible)")
+    submit.add_argument("--db", default=None, metavar="PATH",
+                        help="service database (default: $REPRO_RUNS_DB)")
+    submit.set_defaults(fn=_cmd_submit)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

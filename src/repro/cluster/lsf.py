@@ -261,6 +261,28 @@ class LSFScheduler:
         )
         return job
 
+    def free_slots(self) -> List[tuple]:
+        """Per-node free capacity of the UP nodes: ``(cores, memory_gb)``.
+
+        A consistent-enough snapshot for admission control: the service
+        launcher (:mod:`repro.service`) uses it to decide whether the
+        next workflow run fits *now* or whether a smaller job should
+        backfill the gap.  Each node's counters are read under that
+        node's own lock.
+        """
+        return [
+            (node.free_cores, node.free_memory_gb)
+            for node in self.nodes if node.is_up
+        ]
+
+    def free_cores(self) -> int:
+        """Total free cores across UP nodes (see :meth:`free_slots`)."""
+        return sum(cores for cores, _ in self.free_slots())
+
+    def total_up_cores(self) -> int:
+        """Total core capacity of the UP nodes."""
+        return sum(n.cores for n in self.nodes if n.is_up)
+
     def bjobs(self, state: Optional[JobState] = None) -> List[Job]:
         """All known jobs, optionally filtered by state, in submit order."""
         with self._lock:

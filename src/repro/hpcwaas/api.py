@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 from repro.cluster.lsf import Job, JobError, JobState
 from repro.hpcwaas.registry import WorkflowRegistry
 from repro.hpcwaas.yorc import DeploymentState, YorcOrchestrator
+from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 from repro.observability.spans import maybe_span, span
 
@@ -84,8 +85,6 @@ class Execution:
 class HPCWaaSAPI:
     """REST-shaped entry point for final users."""
 
-    _ids = itertools.count(1)
-
     def __init__(
         self,
         registry: WorkflowRegistry,
@@ -93,6 +92,10 @@ class HPCWaaSAPI:
     ) -> None:
         self.registry = registry
         self.orchestrator = orchestrator
+        # Per-instance: two independent API services (e.g. two tenancy
+        # control planes in one process, or two tests) must not
+        # interleave execution ids through a shared class-level counter.
+        self._ids = itertools.count(1)
         self._executions: Dict[int, Execution] = {}
         self._lock = threading.Lock()
 
@@ -102,11 +105,19 @@ class HPCWaaSAPI:
         """GET /workflows"""
         return self.registry.list()
 
-    def invoke(self, workflow_id: str, **params: Any) -> Execution:
+    def invoke(
+        self,
+        workflow_id: str,
+        cores: int = 1,
+        memory_gb: float = 0.0,
+        **params: Any,
+    ) -> Execution:
         """POST /workflows/<id>/executions — returns immediately.
 
         The workflow executes as a batch job on the cluster that hosts
         its deployment; user params override the published defaults.
+        *cores* and *memory_gb* size the batch allocation (the service
+        layer uses them to pack concurrent runs onto one cluster).
         """
         record = self.registry.get(workflow_id)
         deployment = record.deployment
@@ -150,21 +161,44 @@ class HPCWaaSAPI:
                 ).inc(workflow=workflow_id, outcome="completed")
                 return result
 
-        # The TOSCA ComputeAccess template declares the target queue.
+        # The TOSCA ComputeAccess template declares the target queue.  A
+        # declared queue the scheduler does not configure used to fall
+        # back to the default queue *silently* — a deployment bug that
+        # surfaced only as wrong dispatch priority.  The fallback is now
+        # loud: a WARNING event plus the hpcwaas_queue_fallbacks_total
+        # counter, so tests and SLOs can assert it never happens.
         queue = None
+        declared = None
         for record_ in deployment.provisioned.values():
             if record_.get("kind") == "compute":
-                candidate = record_.get("queue")
-                if candidate in deployment.cluster.scheduler.queues:
-                    queue = candidate
+                declared = record_.get("queue")
+                if declared in deployment.cluster.scheduler.queues:
+                    queue = declared
                 break
+        if declared is not None and queue is None:
+            registry.counter(
+                "hpcwaas_queue_fallbacks_total",
+                "Invocations whose declared TOSCA queue was not configured "
+                "on the target scheduler (fell back to the default queue)",
+                labels=("workflow", "declared"),
+            ).inc(workflow=workflow_id, declared=str(declared))
+            emit_event(
+                "WARNING", "hpcwaas", "queue_fallback",
+                f"workflow {workflow_id}: declared queue {declared!r} not "
+                "configured on the target scheduler; falling back to the "
+                "default queue",
+                workflow=workflow_id, declared=str(declared),
+                configured=sorted(deployment.cluster.scheduler.queues),
+            )
         # A root span around submission: an API invocation with no
         # surrounding trace starts one, and the batch job (which captures
         # this context in ``bsub``) joins it.
         with span(f"invoke:{workflow_id}", layer="hpcwaas",
-                  attrs={"workflow": workflow_id, "queue": queue or ""}):
+                  attrs={"workflow": workflow_id, "queue": queue or "",
+                         "cores": cores}):
             job = deployment.cluster.scheduler.bsub(
                 run_workflow, name=f"hpcwaas-{workflow_id}", queue=queue,
+                cores=cores, memory_gb=memory_gb,
             )
         execution = Execution(next(self._ids), workflow_id, merged, job)
         with self._lock:
@@ -180,9 +214,20 @@ class HPCWaaSAPI:
         return self._get(execution_id).result
 
     def cancel(self, execution_id: int) -> bool:
-        """DELETE /executions/<id> — only pending executions can cancel."""
+        """DELETE /executions/<id> — only pending executions can cancel.
+
+        Returns True when the pending execution was dequeued.  Running
+        executions cannot be preempted (their batch job is a live
+        thread) and terminal executions have nothing to cancel: both
+        return False, and no ``bkill`` is issued for terminal ones.
+        """
         execution = self._get(execution_id)
+        if execution.state.terminal:
+            return False
         scheduler = self.registry.get(execution.workflow_id).deployment.cluster.scheduler
+        # A PEND job is dequeued; a RUN job returns False.  The job may
+        # race into a terminal state between the check above and here —
+        # bkill answers False for that too.
         return scheduler.bkill(execution.job.job_id)
 
     def executions(self, workflow_id: Optional[str] = None) -> List[Execution]:

@@ -58,7 +58,7 @@ __all__ = [
 ]
 
 #: Bumped on every schema change; ``_MIGRATIONS[v]`` upgrades v -> v+1.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -79,6 +79,58 @@ CREATE TABLE IF NOT EXISTS runs (
 CREATE INDEX IF NOT EXISTS idx_runs_started ON runs (started_at DESC);
 CREATE INDEX IF NOT EXISTS idx_runs_kind ON runs (kind);
 """
+
+#: v2 — the multi-tenant workflow-service control plane
+#: (:mod:`repro.service`): tenants with fair-share weights and quotas,
+#: the sites jobs land on, and one row per submitted workflow job with
+#: its full lifecycle (SUBMITTED → LAUNCHED → COMPLETED/FAILED/
+#: CANCELLED).  Lives in the same ``runs.db`` so a service job's
+#: ``run_id`` column joins straight onto the ``runs`` table.
+_SCHEMA_V2 = """
+CREATE TABLE IF NOT EXISTS tenants (
+    name         TEXT PRIMARY KEY,
+    share        REAL NOT NULL DEFAULT 1.0,
+    max_running  INTEGER NOT NULL DEFAULT 4,
+    max_cores    INTEGER NOT NULL DEFAULT 0,
+    created_at   REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sites (
+    name            TEXT PRIMARY KEY,
+    cluster         TEXT NOT NULL DEFAULT '',
+    total_cores     INTEGER NOT NULL DEFAULT 0,
+    total_memory_gb REAL NOT NULL DEFAULT 0,
+    created_at      REAL NOT NULL,
+    last_seen_at    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS service_jobs (
+    job_id       TEXT PRIMARY KEY,
+    tenant       TEXT NOT NULL,
+    workflow     TEXT NOT NULL,
+    site         TEXT NOT NULL DEFAULT '',
+    state        TEXT NOT NULL,
+    cores        INTEGER NOT NULL DEFAULT 1,
+    memory_gb    REAL NOT NULL DEFAULT 0,
+    params_json  TEXT NOT NULL DEFAULT '{}',
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    error        TEXT NOT NULL DEFAULT '',
+    run_id       TEXT NOT NULL DEFAULT '',
+    backfilled   INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS idx_service_jobs_tenant
+    ON service_jobs (tenant, submitted_at);
+CREATE INDEX IF NOT EXISTS idx_service_jobs_state ON service_jobs (state);
+"""
+
+
+def _migrate_v1_to_v2(conn: sqlite3.Connection) -> None:
+    """v1 databases predate the service control plane: add its tables."""
+    conn.executescript(_SCHEMA_V2)
+
+
+#: ``_MIGRATIONS[v]`` upgrades an existing database from v to v+1.
+_MIGRATIONS = {1: _migrate_v1_to_v2}
 
 
 def new_run_id() -> str:
@@ -302,11 +354,22 @@ class RunHistory:
             )
         # Idempotent DDL (IF NOT EXISTS throughout), so two processes
         # racing through first-open both succeed; executescript commits
-        # implicitly.  Future migrations chain on the version here.
-        if version < SCHEMA_VERSION:
+        # implicitly.  A fresh database gets the full current schema;
+        # an old one chains through _MIGRATIONS one version at a time.
+        if version == 0:
             conn.executescript(_SCHEMA)
-            conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
-            conn.commit()
+            conn.executescript(_SCHEMA_V2)
+        else:
+            while version < SCHEMA_VERSION:
+                _MIGRATIONS[version](conn)
+                version += 1
+        conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+        conn.commit()
+
+    def schema_version(self) -> int:
+        """The database's ``PRAGMA user_version`` (after migration)."""
+        with self._connect() as conn:
+            return conn.execute("PRAGMA user_version").fetchone()[0]
 
     # -- writes -------------------------------------------------------------
 

@@ -1,0 +1,86 @@
+"""Fair-share accounting for the multi-tenant launcher.
+
+Classic decayed-usage fair share (LSF/Slurm style): every finished job
+charges its tenant ``cores x wall_seconds``; charges decay with a
+configurable half-life so a tenant that burned the cluster yesterday is
+not locked out today.  The launcher orders runnable work by each
+tenant's *normalized usage* — decayed usage divided by the tenant's
+share weight — lowest first, so light users cut ahead of heavy ones and
+equal-share tenants interleave.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Dict
+
+__all__ = ["FairShare"]
+
+
+class FairShare:
+    """Decayed per-tenant usage with normalized-usage ordering keys.
+
+    Parameters
+    ----------
+    half_life_s:
+        Time for a charge to decay to half its weight.  ``0`` disables
+        decay (pure cumulative usage — deterministic, used by tests).
+    clock:
+        Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        half_life_s: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if half_life_s < 0:
+            raise ValueError("half_life_s must be non-negative")
+        self.half_life_s = half_life_s
+        self._clock = clock
+        self._usage: Dict[str, float] = {}
+        self._stamped: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    def _decayed_locked(self, tenant: str, now: float) -> float:
+        usage = self._usage.get(tenant, 0.0)
+        if usage == 0.0 or self.half_life_s == 0:
+            return usage
+        elapsed = max(0.0, now - self._stamped.get(tenant, now))
+        if elapsed:
+            usage *= math.pow(0.5, elapsed / self.half_life_s)
+            self._usage[tenant] = usage
+            self._stamped[tenant] = now
+        return usage
+
+    def charge(self, tenant: str, core_seconds: float) -> None:
+        """Add a finished job's ``cores x wall_seconds`` to *tenant*."""
+        if core_seconds < 0:
+            raise ValueError("core_seconds must be non-negative")
+        now = self._clock()
+        with self._lock:
+            usage = self._decayed_locked(tenant, now)
+            self._usage[tenant] = usage + core_seconds
+            self._stamped[tenant] = now
+
+    def usage(self, tenant: str) -> float:
+        """Current decayed usage in core-seconds."""
+        with self._lock:
+            return self._decayed_locked(tenant, self._clock())
+
+    def normalized(self, tenant: str, share: float = 1.0) -> float:
+        """The ordering key: decayed usage / share weight (lower first)."""
+        if share <= 0:
+            raise ValueError("share must be positive")
+        return self.usage(tenant) / share
+
+    def snapshot(self) -> Dict[str, float]:
+        """Tenant -> decayed usage, for reports and tests."""
+        now = self._clock()
+        with self._lock:
+            return {
+                tenant: self._decayed_locked(tenant, now)
+                for tenant in sorted(self._usage)
+            }

@@ -1,0 +1,81 @@
+"""Decayed fair-share accounting tests (injected clock, no sleeping)."""
+
+import pytest
+
+from repro.service import FairShare
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestCharges:
+    def test_charges_accumulate(self, clock):
+        fs = FairShare(half_life_s=0, clock=clock)
+        fs.charge("a", 10.0)
+        fs.charge("a", 5.0)
+        assert fs.usage("a") == 15.0
+        assert fs.usage("never-charged") == 0.0
+
+    def test_negative_charge_rejected(self, clock):
+        with pytest.raises(ValueError):
+            FairShare(clock=clock).charge("a", -1.0)
+
+    def test_negative_half_life_rejected(self):
+        with pytest.raises(ValueError):
+            FairShare(half_life_s=-1)
+
+
+class TestDecay:
+    def test_usage_halves_per_half_life(self, clock):
+        fs = FairShare(half_life_s=100.0, clock=clock)
+        fs.charge("a", 80.0)
+        clock.now = 100.0
+        assert fs.usage("a") == pytest.approx(40.0)
+        clock.now = 300.0
+        assert fs.usage("a") == pytest.approx(10.0)
+
+    def test_zero_half_life_disables_decay(self, clock):
+        fs = FairShare(half_life_s=0, clock=clock)
+        fs.charge("a", 8.0)
+        clock.now = 1e6
+        assert fs.usage("a") == 8.0
+
+    def test_charge_after_decay_composes(self, clock):
+        fs = FairShare(half_life_s=100.0, clock=clock)
+        fs.charge("a", 40.0)
+        clock.now = 100.0
+        fs.charge("a", 10.0)  # 40/2 + 10
+        assert fs.usage("a") == pytest.approx(30.0)
+
+
+class TestOrdering:
+    def test_normalized_divides_by_share(self, clock):
+        fs = FairShare(half_life_s=0, clock=clock)
+        fs.charge("heavy", 40.0)
+        fs.charge("light", 10.0)
+        # Same raw usage ratio 4:1, but heavy has 4x the share, so the
+        # ordering keys tie.
+        assert fs.normalized("heavy", share=4.0) == fs.normalized(
+            "light", share=1.0
+        )
+        assert fs.normalized("light") < fs.normalized("heavy")
+
+    def test_share_must_be_positive(self, clock):
+        with pytest.raises(ValueError):
+            FairShare(clock=clock).normalized("a", share=0)
+
+    def test_snapshot(self, clock):
+        fs = FairShare(half_life_s=0, clock=clock)
+        fs.charge("b", 2.0)
+        fs.charge("a", 1.0)
+        assert fs.snapshot() == {"a": 1.0, "b": 2.0}
