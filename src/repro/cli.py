@@ -99,6 +99,16 @@ def _add_workflow_args(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="cores per simulated cluster node (explicit "
                              "and deterministic; default 4)")
+    parser.add_argument("--ophidia-memory-budget-mb", type=float, default=None,
+                        metavar="MB",
+                        help="resident-fragment byte budget per Ophidia IO "
+                             "server; LRU fragments spill compressed to the "
+                             "shared FS and reload transparently (default 0 "
+                             "= no tiering)")
+    parser.add_argument("--ophidia-spill-dir", default=None, metavar="DIR",
+                        help="directory for spilled fragment files (default: "
+                             "<cluster fs>/ophidia_spill when a budget is "
+                             "set)")
 
 
 def _params_from_args(args) -> "WorkflowParams":
@@ -113,6 +123,12 @@ def _params_from_args(args) -> "WorkflowParams":
             kwargs["worker_cache_bytes"] = int(args.worker_cache_mb * 2**20)
         if args.fs_cache_mb is not None:
             kwargs["fs_cache_bytes"] = int(args.fs_cache_mb * 2**20)
+    if args.ophidia_memory_budget_mb is not None:
+        kwargs["ophidia_memory_budget_bytes"] = int(
+            args.ophidia_memory_budget_mb * 2**20
+        )
+    if args.ophidia_spill_dir is not None:
+        kwargs["ophidia_spill_dir"] = args.ophidia_spill_dir
     return WorkflowParams(
         years=args.years, n_days=args.days, n_lat=args.n_lat, n_lon=args.n_lon,
         n_workers=args.workers, scenario=args.scenario, seed=args.seed,

@@ -58,8 +58,25 @@ from repro.netcdf import Dataset
 from repro.observability.metrics import get_registry
 from repro.ophidia import kernels as K
 from repro.ophidia.primitives import parse_primitive
+from repro.ophidia.pruning import compile_prune_plan
 from repro.ophidia.server import OphidiaServer
 from repro.parallel import FragmentKernel
+
+
+def _chunk_axis_for(names: Sequence[str], fragment_dim: str) -> int:
+    """The storage chunk axis for a cube's fragments.
+
+    Fragments chunk along the first *non*-fragment axis (time, for the
+    usual (time, lat, lon)/lat-fragmented layout), so chunk statistics
+    cut across the dimension predicates and subsets filter on.
+    """
+    try:
+        frag_axis = list(names).index(fragment_dim)
+    except ValueError:
+        frag_axis = -1
+    if frag_axis != 0:
+        return 0
+    return 1 if len(names) > 1 else 0
 
 
 @dataclass(frozen=True)
@@ -327,12 +344,16 @@ class Cube:
         nfrag = max(1, min(nfrag, size)) if size else 1
 
         bounds = np.linspace(0, size, nfrag + 1).astype(int)
+        chunk_axis = _chunk_axis_for(dims, fragment_dim)
         refs = []
         for i in range(nfrag):
             start, stop = int(bounds[i]), int(bounds[i + 1])
             indexer = [slice(None)] * data.ndim
             indexer[axis] = slice(start, stop)
-            fid = server.pool.store(np.ascontiguousarray(data[tuple(indexer)]))
+            fid = server.pool.store(
+                np.ascontiguousarray(data[tuple(indexer)]),
+                chunk_axis=chunk_axis,
+            )
             refs.append(_FragmentRef(fid, start, stop))
 
         dim_infos = [DimensionInfo(name, data.shape[i]) for i, name in enumerate(dims)]
@@ -378,8 +399,8 @@ class Cube:
         with self._server._plan_lock:
             return self._resolved_locked()
 
-    def _resolved_locked(self, reuse: bool = True):
-        """Resolve this cube's chain into ``(refs, stages, ops)``.
+    def _resolved_locked(self, reuse: bool = True, allow_prune: bool = True):
+        """Resolve this cube's chain into ``(refs, stages, ops, prune)``.
 
         ``refs`` are the concrete base fragments; ``stages`` is the
         fused per-fragment chain as picklable kernel stages (empty when
@@ -389,6 +410,14 @@ class Cube:
         materialise-on-reuse and eval counting; it is off while
         materialising a reused ancestor so one forced chain cannot
         cascade into materialising every intermediate below it.
+
+        ``prune`` is a chunk-pruning plan for the chain's leading steps
+        (None when the prefix is ineligible or *allow_prune* is off —
+        operand chains replayed inside :func:`~repro.ophidia.kernels.
+        stage_binop` must stay dense).  Steps the plan consumes are
+        named in ``ops`` but get no stage; the sweep obtains their
+        output from :meth:`~repro.ophidia.pruning.PredicatePrunePlan.
+        load` instead of a plain fragment read.
         """
         base, steps = self._plan_chain()
         if base._deleted:
@@ -406,13 +435,22 @@ class Cube:
             for cube, _ in steps:
                 cube._evals += 1
         if not steps:
-            return base._fragments, [], []
+            return base._fragments, [], [], None
+
+        prune = None
+        if allow_prune and self._server.prune:
+            prune = compile_prune_plan(base, steps, self._bounds)
+        consumed = prune.consumed if prune is not None else 0
 
         frag_axis = base._axis(base.fragment_dim)
         bounds = self._bounds
         stages: List[Callable[..., Tuple[np.ndarray, int]]] = []
-        ops: List[str] = []
-        for _, step in steps:
+        # Consumed steps execute inside the prune plan's loader; they
+        # keep their place in the fused-op accounting (the sweep still
+        # runs them, chunk-wise) but compile no kernel stage and
+        # preload no operands.
+        ops: List[str] = [step.op for _, step in steps[:consumed]]
+        for _, step in steps[consumed:]:
             ops.append(step.op)
             if step.kind == "apply":
                 _query, ast = step.params
@@ -447,13 +485,17 @@ class Cube:
                     and other._bounds == bounds
                 )
                 if aligned:
-                    orefs, ostages, oops = other._resolved_locked(reuse=reuse)
+                    orefs, ostages, oops, _ = other._resolved_locked(
+                        reuse=reuse, allow_prune=False
+                    )
                     ops.extend(oops)
                     # Preload the operand's base fragments now: the stage
                     # itself then needs no storage-pool access and can run
-                    # in a worker process.
+                    # in a worker process.  Spilled operands stay cold —
+                    # the handle hydrates inside whichever worker runs
+                    # the stage.
                     operands = tuple(
-                        opool.load(ref.fragment_id) for ref in orefs
+                        opool.load_handle(ref.fragment_id) for ref in orefs
                     )
                     stages.append(
                         partial(
@@ -474,7 +516,7 @@ class Cube:
             else:  # pragma: no cover - steps are built internally
                 raise RuntimeError(f"unknown plan step kind {step.kind!r}")
 
-        return base._fragments, stages, ops
+        return base._fragments, stages, ops, prune
 
     def _run_kernel_sweep(
         self,
@@ -482,38 +524,75 @@ class Cube:
         refs: Sequence[_FragmentRef],
         stages: Sequence[Callable[..., Tuple[np.ndarray, int]]],
         n_metered: int,
+        prune=None,
+        indices: Optional[Sequence[int]] = None,
         **attrs: Any,
     ) -> List[np.ndarray]:
         """Execute a compiled kernel over *refs* on the server's backend.
 
-        The first *n_metered* stage outputs count toward avoided
-        materialisations.  The process backend (when configured and the
-        kernel pickles) receives preloaded input arrays and returns the
-        accumulated avoided-bytes count alongside the results; the
-        thread path meters through a shared
-        :class:`_AvoidedMeter`.  Both flush the same counter, so the
-        fusion metrics do not depend on the backend.
+        The first *n_metered* chain outputs count toward avoided
+        materialisations (*n_metered* counts the whole fused chain,
+        including any steps a *prune* plan consumed — the split between
+        the plan's loader and the kernel happens here).  The process
+        backend (when configured and the kernel pickles) receives
+        preloaded input arrays — or cold-fragment spill handles, which
+        hydrate inside the workers — and returns the accumulated
+        avoided-bytes count alongside the results; the thread path
+        meters through a shared :class:`_AvoidedMeter`.  Both flush the
+        same counter, so the fusion metrics do not depend on the
+        backend.
+
+        *indices* carries the fragments' original positions when only a
+        subset of a cube's fragments is swept (fragment-level subset
+        pruning): intercube stages index their preloaded operands by
+        fragment position, so positions must survive the selection.
         """
-        kernel = FragmentKernel(tuple(stages), n_metered)
+        plan_metered = 0
+        kernel_metered = n_metered
+        if prune is not None:
+            plan_metered = min(prune.consumed, n_metered)
+            kernel_metered = max(0, n_metered - prune.consumed)
+        kernel = FragmentKernel(tuple(stages), kernel_metered)
         pool = self._server.pool
         meter = _AvoidedMeter()
+        items = (
+            list(zip(indices, refs)) if indices is not None
+            else list(enumerate(refs))
+        )
         if self._server.process_kernel_ready(kernel):
-            inputs = [pool.load(ref.fragment_id) for ref in refs]
+            if prune is not None:
+                # The pruned prefix runs chunk-wise in the parent (the
+                # thread pool parallelises across fragments); only the
+                # surviving dense tail ships to the workers.
+                def load_input(item):
+                    i, ref = item
+                    data, avoided = prune.load(ref, i, plan_metered)
+                    meter.add(avoided)
+                    return data
+
+                inputs = self._server.map_fragments(load_input, items)
+            else:
+                inputs = [pool.load_handle(ref.fragment_id) for ref in refs]
             arrays, avoided = self._server.sweep_kernel(
-                ops, kernel, inputs, cube_id=self.cube_id, **attrs
+                ops, kernel, inputs, indices=[i for i, _ in items],
+                cube_id=self.cube_id, **attrs,
             )
             meter.add(avoided)
         else:
 
             def work(item):
                 i, ref = item
-                out, avoided = kernel.run(pool.load(ref.fragment_id), i)
+                if prune is not None:
+                    data, extra = prune.load(ref, i, plan_metered)
+                    meter.add(extra)
+                else:
+                    data = pool.load_handle(ref.fragment_id)
+                out, avoided = kernel.run(data, i)
                 meter.add(avoided)
                 return out
 
             arrays = self._server.sweep(
-                ops, work, list(enumerate(refs)),
-                cube_id=self.cube_id, **attrs,
+                ops, work, items, cube_id=self.cube_id, **attrs,
             )
         _flush_avoided(meter)
         return arrays
@@ -532,16 +611,21 @@ class Cube:
     def _materialize_locked(self, reason: str) -> None:
         if self._fragments is not None:
             return
-        refs, stages, ops = self._resolved_locked(reuse=False)
+        refs, stages, ops, prune = self._resolved_locked(reuse=False)
+        n_chain = len(stages) + (prune.consumed if prune is not None else 0)
         # The final chain output is about to be stored, so it does not
         # count as an avoided materialisation.
         arrays = self._run_kernel_sweep(
             ops + ["oph_materialize"], refs, stages,
-            n_metered=max(0, len(stages) - 1), reason=reason,
+            n_metered=max(0, n_chain - 1), prune=prune, reason=reason,
         )
         pool = self._server.pool
+        chunk_axis = _chunk_axis_for(self.dim_names, self.fragment_dim)
         self._fragments = tuple(
-            _FragmentRef(pool.store(np.ascontiguousarray(arr)), start, stop)
+            _FragmentRef(
+                pool.store(np.ascontiguousarray(arr), chunk_axis=chunk_axis),
+                start, stop,
+            )
             for arr, (start, stop) in zip(arrays, self._bounds)
         )
         get_registry().counter(
@@ -566,8 +650,13 @@ class Cube:
         measure: Optional[str] = None,
         fragment_dim: Optional[str] = None,
     ) -> "Cube":
+        chunk_axis = _chunk_axis_for(
+            [d.name for d in new_dims], fragment_dim or self.fragment_dim
+        )
         refs = [
-            _FragmentRef(self._server.pool.store(arr), start, stop)
+            _FragmentRef(
+                self._server.pool.store(arr, chunk_axis=chunk_axis), start, stop
+            )
             for arr, (start, stop) in zip(fragment_arrays, frag_bounds)
         ]
         return Cube(
@@ -592,10 +681,11 @@ class Cube:
         (:mod:`repro.ophidia.kernels`); only the chain stages before it
         are metered as avoided materialisations.
         """
-        refs, stages, ops = self._resolved()
+        refs, stages, ops, prune = self._resolved()
+        n_chain = len(stages) + (prune.consumed if prune is not None else 0)
         arrays = self._run_kernel_sweep(
             ops + [terminal_op], refs, list(stages) + [terminal_stage],
-            n_metered=len(stages),
+            n_metered=n_chain, prune=prune,
         )
         return self._derive(new_dims, arrays, self._bounds, description, measure)
 
@@ -797,10 +887,50 @@ class Cube:
         )
 
         if dim == self.fragment_dim:
-            full = self.to_array()
-            indexer = [slice(None)] * full.ndim
-            indexer[axis] = slice(start, stop)
-            out = full[tuple(indexer)]
+            # Subsetting along the fragmentation axis re-fragments, so
+            # it is a gather — but the fragment bounds tell us which
+            # fragments can contribute at all.  Only overlapping
+            # fragments are swept/read; skipped ones count as pruned.
+            # Slicing each surviving part locally and concatenating is
+            # byte-identical to gathering everything and slicing once.
+            bounds = self._bounds
+            keep = [
+                i for i, (s, e) in enumerate(bounds)
+                if e > start and s < stop
+            ]
+            if len(keep) < len(bounds):
+                get_registry().counter(
+                    "ophidia_fragments_pruned_total",
+                    "Whole fragments skipped via fragment-bound pruning",
+                ).inc(len(bounds) - len(keep))
+            refs, stages, ops, prune = self._resolved()
+            sel_refs = [refs[i] for i in keep]
+            if ops:
+                n_chain = len(stages) + (
+                    prune.consumed if prune is not None else 0
+                )
+                parts = self._run_kernel_sweep(
+                    ops, sel_refs, stages, n_metered=n_chain,
+                    prune=prune, indices=keep,
+                )
+            else:
+                pool = self._server.pool
+                parts = self._server.map_fragments(
+                    lambda ref: pool.load(ref.fragment_id), sel_refs
+                )
+            sliced = []
+            for i, arr in zip(keep, parts):
+                s, e = bounds[i]
+                lo, hi = max(start, s) - s, min(stop, e) - s
+                if lo > 0 or hi < e - s:
+                    indexer = [slice(None)] * arr.ndim
+                    indexer[axis] = slice(lo, hi)
+                    arr = arr[tuple(indexer)]
+                sliced.append(arr)
+            out = (
+                sliced[0] if len(sliced) == 1
+                else np.concatenate(sliced, axis=axis)
+            )
             cube = Cube.from_array(
                 out, list(self.dim_names), client=_ServerClient(self._server),
                 fragment_dim=self.fragment_dim, nfrag=self.nfrag,
@@ -949,10 +1079,13 @@ class Cube:
                 self._fragments,
             )
         else:
-            refs, stages, ops = self._resolved()
+            refs, stages, ops, prune = self._resolved()
             if ops:
+                n_chain = len(stages) + (
+                    prune.consumed if prune is not None else 0
+                )
                 parts = self._run_kernel_sweep(
-                    ops, refs, stages, n_metered=len(stages)
+                    ops, refs, stages, n_metered=n_chain, prune=prune
                 )
             else:
                 pool = self._server.pool

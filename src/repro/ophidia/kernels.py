@@ -135,8 +135,11 @@ def stage_binop(
     *operand_stages* is the operand's own fused chain, run here with
     every stage output metered — the operand chain streams through this
     sweep instead of materialising, exactly as on the old closure path.
+    A spilled operand arrives as a cold-fragment handle and hydrates
+    here, inside whichever worker runs the stage.
     """
-    b = np.asarray(operands[i])
+    b = operands[i]
+    b = b.hydrate() if hasattr(b, "hydrate") else np.asarray(b)
     extra = 0
     for stage in operand_stages:
         b, e = stage(b, i)

@@ -176,13 +176,23 @@ _MATH_FUNCS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
 }
 
 
-def _parse_condition(text: str) -> Tuple[Callable, float]:
+def parse_condition(text: str) -> Tuple[str, float]:
+    """Split a predicate condition into ``(comparator symbol, threshold)``.
+
+    Shared by the evaluator and the chunk-pruning planner (which needs
+    the symbolic comparator to reason about chunk min/max statistics).
+    """
     match = _CONDITION_RE.match(text)
     if match is None:
         raise PrimitiveError(
             f"unsupported predicate condition {text!r}; expected e.g. '>0', 'x>=5'"
         )
-    return _COMPARATORS[match.group("op")], float(match.group("value"))
+    return match.group("op"), float(match.group("value"))
+
+
+def _parse_condition(text: str) -> Tuple[Callable, float]:
+    op, value = parse_condition(text)
+    return _COMPARATORS[op], value
 
 
 def _branch_value(text: str, measure: np.ndarray) -> Any:
@@ -375,6 +385,92 @@ def evaluate_ast(ast: tuple, measure: np.ndarray) -> np.ndarray:
             f"-> {result.shape}"
         )  # pragma: no cover - all current primitives are elementwise
     return result
+
+
+# ---------------------------------------------------------------------------
+# Planner introspection
+# ---------------------------------------------------------------------------
+
+_BRANCH_PASSTHROUGH = object()
+
+
+def _literal_branch(node: tuple):
+    """Resolve a predicate branch AST node without evaluating a measure.
+
+    Returns the passthrough sentinel for ``'x'``, a float (possibly NaN)
+    for literals, or raises :class:`PrimitiveError` for anything the
+    planner cannot reason about (e.g. a nested primitive call).
+    """
+    if node[0] == "num":
+        return float(node[1])
+    if node[0] == "str":
+        stripped = node[1].strip()
+        if stripped == "x":
+            return _BRANCH_PASSTHROUGH
+        if stripped.upper() == "NAN":
+            return float("nan")
+        try:
+            return float(stripped)
+        except ValueError:
+            raise PrimitiveError(f"non-literal branch {node[1]!r}") from None
+    raise PrimitiveError(f"non-literal branch {node!r}")
+
+
+class PredicateInfo:
+    """Statically-known shape of a prunable ``oph_predicate`` expression.
+
+    ``then_const``/``else_const`` are floats (possibly NaN) when the
+    branch is a constant and None when it passes the measure through
+    (``'x'``).  ``ast`` retains the full original expression so a
+    must-read chunk is still evaluated through the exact evaluator
+    semantics, never a re-synthesised expression.
+    """
+
+    __slots__ = ("op", "threshold", "then_const", "else_const", "out_dtype", "ast")
+
+    def __init__(self, op, threshold, then_const, else_const, out_dtype, ast):
+        self.op = op
+        self.threshold = threshold
+        self.then_const = then_const
+        self.else_const = else_const
+        self.out_dtype = out_dtype
+        self.ast = ast
+
+
+def describe_predicate(ast: tuple):
+    """Introspect *ast* for the pruning planner.
+
+    Returns a :class:`PredicateInfo` when *ast* is a single top-level
+    ``oph_predicate`` applied directly to the measure with a literal
+    condition and literal-or-passthrough branches — the shape whose
+    outcome chunk min/max statistics can decide.  Any other expression
+    returns None and the planner falls back to reading the chunk.
+    """
+    if not (isinstance(ast, tuple) and ast[0] == "call" and ast[1] == "oph_predicate"):
+        return None
+    args = ast[2]
+    if len(args) != 7 or args[2] != ("measure",):
+        return None
+    try:
+        _dtype(_eval(args[0], np.empty(0)))
+        out_dtype = _dtype(_eval(args[1], np.empty(0)))
+        if args[3][0] not in ("str", "num") or str(args[3][1]).strip() != "x":
+            return None
+        if args[4][0] != "str":
+            return None
+        op, threshold = parse_condition(args[4][1])
+        then_value = _literal_branch(args[5])
+        else_value = _literal_branch(args[6])
+    except PrimitiveError:
+        return None
+    return PredicateInfo(
+        op,
+        threshold,
+        None if then_value is _BRANCH_PASSTHROUGH else then_value,
+        None if else_value is _BRANCH_PASSTHROUGH else else_value,
+        out_dtype,
+        ast,
+    )
 
 
 def evaluate_primitive(query: str, measure: np.ndarray) -> np.ndarray:

@@ -1,0 +1,397 @@
+"""Chunk-level pruning of fused lazy plans using write-time statistics.
+
+The lazy planner (:mod:`repro.ophidia.datacube`) fuses elementwise
+operator chains into single fragment sweeps.  This module extends that
+planner downward into the chunked storage layer: when the *prefix* of a
+fused chain has a shape whose per-chunk outcome the stored
+min/max/null-count statistics can decide, the sweep reads only the
+chunks it must (zone-map pruning, the zarr/Parquet idiom) and
+synthesises the rest.
+
+Two prefix shapes compile (:func:`compile_prune_plan`):
+
+* ``intercube(add|sub)* → apply(oph_predicate ...)`` — anomaly-style
+  chains ending in a literal predicate (Listing 1's exceedance mask).
+  Chunk ``[min,max]`` intervals propagate through the binop chain via
+  interval arithmetic; chunks whose interval proves the condition
+  always (or never) holds synthesise the constant branch without being
+  read.  The condition's outcome on NaN inputs is honoured (False for
+  every comparator except ``!=``), so null-bearing chunks prune only
+  when the decision is NaN-safe.
+* a leading ``subset`` along the chunk axis — only overlapping chunks
+  are read, and each is sliced locally.
+
+Everything else falls back to the dense path, and must-read chunks are
+evaluated through the *original* predicate AST, so pruned execution is
+byte-identical to dense execution by construction.  Interval bounds are
+widened by one ulp in the computation dtype after every binop, keeping
+float rounding from ever flipping a decision (a too-wide interval only
+costs a read, never correctness).  Integer chains with binops do not
+prune (interval arithmetic could overflow); statistics-only decisions
+on a bare predicate work for any dtype.
+
+Pruning is observable through ``ophidia_chunks_pruned_total`` (chunks
+skipped), ``ophidia_chunks_read_total`` (chunks individually read, in
+:mod:`repro.ophidia.storage`) and ``ophidia_fragments_pruned_total``
+(whole fragments skipped by ``subset`` along the fragment dimension, in
+the datacube layer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.observability.metrics import get_registry
+from repro.ophidia import kernels as K
+from repro.ophidia.primitives import PredicateInfo, describe_predicate, evaluate_ast
+from repro.ophidia.storage import ChunkMeta, ChunkStats
+
+__all__ = ["PredicatePrunePlan", "SubsetPrunePlan", "compile_prune_plan"]
+
+
+def _count_pruned(n: int) -> None:
+    if n:
+        get_registry().counter(
+            "ophidia_chunks_pruned_total",
+            "Chunks skipped by statistics-based plan pruning",
+        ).inc(n)
+
+
+def _widen(lo: float, hi: float, dtype: np.dtype) -> Tuple[float, float]:
+    """Expand an interval by one ulp each side in *dtype*.
+
+    Interval-arithmetic bounds computed in float can round toward the
+    interior; one ulp in the dtype the chain actually computes in makes
+    them outer bounds again.
+    """
+    lo = float(np.nextafter(np.asarray(lo, dtype=dtype), -np.inf))
+    hi = float(np.nextafter(np.asarray(hi, dtype=dtype), np.inf))
+    return lo, hi
+
+
+def _decide(
+    op: str, t: float, lo: float, hi: float,
+    has_null: bool, all_null: bool, count: int,
+) -> Optional[bool]:
+    """Can chunk statistics decide ``x <op> t`` for every element?
+
+    True = condition holds everywhere, False = nowhere, None = must
+    read.  NaN semantics follow NumPy: every comparator is False on NaN
+    except ``!=`` which is True, so nulls invalidate an all-True verdict
+    (all-False for ``!=``) but never the opposite one.
+    """
+    if count == 0:
+        return None
+    finite = math.isfinite(lo) and math.isfinite(hi)
+    if op == "!=":
+        if all_null:
+            return True
+        if not finite:
+            return None
+        if t < lo or t > hi:
+            return True
+        if lo == hi == t and not has_null:
+            return False
+        return None
+    if all_null:
+        return False
+    if not finite:
+        return None
+    if op == ">":
+        if hi <= t:
+            return False
+        if lo > t and not has_null:
+            return True
+    elif op == ">=":
+        if hi < t:
+            return False
+        if lo >= t and not has_null:
+            return True
+    elif op == "<":
+        if lo >= t:
+            return False
+        if hi < t and not has_null:
+            return True
+    elif op == "<=":
+        if lo > t:
+            return False
+        if hi <= t and not has_null:
+            return True
+    elif op in ("==", "="):
+        if t < lo or t > hi:
+            return False
+        if lo == hi == t and not has_null:
+            return True
+    return None
+
+
+class _BinopLink:
+    """One consumed intercube step: operand fragments + result dtypes."""
+
+    __slots__ = ("op_name", "pool", "fragment_ids", "metas", "result_dtypes")
+
+    def __init__(self, op_name, pool, fragment_ids, metas, result_dtypes):
+        self.op_name = op_name
+        self.pool = pool
+        self.fragment_ids = fragment_ids
+        self.metas = metas
+        self.result_dtypes = result_dtypes
+
+
+def _layouts_match(a: ChunkMeta, b: ChunkMeta) -> bool:
+    return (
+        a.axis == b.axis
+        and a.shape == b.shape
+        and len(a.chunks) == len(b.chunks)
+        and all(
+            ca.start == cb.start and ca.stop == cb.stop
+            for ca, cb in zip(a.chunks, b.chunks)
+        )
+    )
+
+
+class PredicatePrunePlan:
+    """Pruned execution of ``intercube* → predicate`` over one base cube.
+
+    :meth:`load` replaces the plain fragment read in a fused sweep: it
+    produces the prefix's output for fragment *i* chunk by chunk —
+    synthesised where statistics decide the predicate, computed through
+    the original operator chain and AST where they cannot — plus the
+    avoided-materialisation bytes the consumed steps account for, so
+    fusion metering is identical to the dense path.
+    """
+
+    def __init__(
+        self,
+        pool,
+        metas: Sequence[ChunkMeta],
+        links: Sequence[_BinopLink],
+        pred: PredicateInfo,
+    ) -> None:
+        self.pool = pool
+        self.metas = list(metas)
+        self.links = list(links)
+        self.pred = pred
+        #: Plan steps this prefix replaces (binops + the predicate).
+        self.consumed = len(links) + 1
+        # Per fragment, per consumed step: the step's output nbytes —
+        # what the dense path would meter as avoided materialisation.
+        self._step_nbytes: List[List[int]] = []
+        for i, meta in enumerate(self.metas):
+            elems = int(np.prod(meta.shape, dtype=np.int64)) if meta.shape else 1
+            sizes = [
+                elems * link.result_dtypes[i].itemsize for link in self.links
+            ]
+            sizes.append(elems * pred.out_dtype.itemsize)
+            self._step_nbytes.append(sizes)
+
+    def _fold_stats(self, i: int, ci: int):
+        """Propagate chunk *ci*'s statistics through the binop chain."""
+        st: ChunkStats = self.metas[i].chunks[ci].stats
+        lo, hi = st.min, st.max
+        has_null = st.null_count > 0
+        all_null = st.count > 0 and st.null_count == st.count
+        for link in self.links:
+            ost: ChunkStats = link.metas[i].chunks[ci].stats
+            o_all = ost.count > 0 and ost.null_count == ost.count
+            has_null = has_null or ost.null_count > 0
+            all_null = all_null or o_all
+            if all_null:
+                lo, hi = math.nan, math.nan
+                continue
+            if link.op_name == "add":
+                lo, hi = lo + ost.min, hi + ost.max
+            else:  # sub
+                lo, hi = lo - ost.max, hi - ost.min
+            lo, hi = _widen(lo, hi, link.result_dtypes[i])
+        return lo, hi, has_null, all_null, st.count
+
+    def _chunk_shape(self, meta: ChunkMeta, ci: int) -> Tuple[int, ...]:
+        chunk = meta.chunks[ci]
+        if not meta.shape:
+            return ()
+        shape = list(meta.shape)
+        shape[meta.axis] = chunk.stop - chunk.start
+        return tuple(shape)
+
+    def _synthesize(self, shape, dtype, verdict: bool) -> np.ndarray:
+        """Build the decided chunk exactly as the evaluator would.
+
+        Mirrors ``oph_predicate``'s ``np.where`` + cast, with a zeros
+        placeholder of the chain dtype standing in for a passthrough
+        branch that is never selected (it still participates in NumPy's
+        dtype promotion, which is what byte-identity requires).
+        """
+        pred = self.pred
+        then_v = pred.then_const
+        if then_v is None:
+            then_v = np.zeros(shape, dtype=dtype)
+        else_v = pred.else_const
+        if else_v is None:
+            else_v = np.zeros(shape, dtype=dtype)
+        cond = np.ones(shape, dtype=bool) if verdict else np.zeros(shape, dtype=bool)
+        return np.asarray(np.where(cond, then_v, else_v), dtype=pred.out_dtype)
+
+    def _compute(self, fragment_id: int, i: int, ci: int) -> np.ndarray:
+        """Must-read path: the exact dense computation, one chunk wide."""
+        data = self.pool.load_chunk(fragment_id, ci)
+        for link in self.links:
+            operand = link.pool.load_chunk(link.fragment_ids[i], ci)
+            data = K.INTERCUBE_OPS[link.op_name](data, operand)
+        return np.asarray(evaluate_ast(self.pred.ast, np.asarray(data)))
+
+    def load(self, ref, i: int, metered_steps: int) -> Tuple[np.ndarray, int]:
+        """The prefix's output for fragment *i* plus metered avoided bytes."""
+        meta = self.metas[i]
+        chain_dtype = (
+            self.links[-1].result_dtypes[i] if self.links else meta.dtype
+        )
+        pred = self.pred
+        parts: List[np.ndarray] = []
+        pruned = 0
+        for ci in range(len(meta.chunks)):
+            lo, hi, has_null, all_null, count = self._fold_stats(i, ci)
+            verdict = _decide(
+                pred.op, pred.threshold, lo, hi, has_null, all_null, count
+            )
+            if verdict is True and pred.then_const is None:
+                verdict = None  # passthrough branch: the data is needed
+            if verdict is False and pred.else_const is None:
+                verdict = None
+            if verdict is None:
+                parts.append(self._compute(ref.fragment_id, i, ci))
+            else:
+                pruned += 1
+                parts.append(
+                    self._synthesize(
+                        self._chunk_shape(meta, ci), chain_dtype, verdict
+                    )
+                )
+        _count_pruned(pruned)
+        if len(parts) == 1:
+            out = parts[0]
+        else:
+            out = np.concatenate(parts, axis=meta.axis)
+        avoided = sum(self._step_nbytes[i][:metered_steps])
+        return out, avoided
+
+
+class SubsetPrunePlan:
+    """Pruned execution of a leading ``subset`` along the chunk axis.
+
+    Chunks outside the requested range are never read; overlapping
+    chunks are read individually and sliced locally, reproducing
+    ``stage_subset`` byte for byte.
+    """
+
+    consumed = 1
+
+    def __init__(self, pool, metas: Sequence[ChunkMeta], axis: int,
+                 start: int, stop: int) -> None:
+        self.pool = pool
+        self.metas = list(metas)
+        self.axis = axis
+        self.start = start
+        self.stop = stop
+
+    def load(self, ref, i: int, metered_steps: int) -> Tuple[np.ndarray, int]:
+        meta = self.metas[i]
+        parts: List[np.ndarray] = []
+        pruned = 0
+        for ci, chunk in enumerate(meta.chunks):
+            if chunk.stop <= self.start or chunk.start >= self.stop:
+                pruned += 1
+                continue
+            data = self.pool.load_chunk(ref.fragment_id, ci)
+            lo = max(self.start, chunk.start) - chunk.start
+            hi = min(self.stop, chunk.stop) - chunk.start
+            if lo > 0 or hi < chunk.stop - chunk.start:
+                indexer = [slice(None)] * data.ndim
+                indexer[self.axis] = slice(lo, hi)
+                data = data[tuple(indexer)]
+            parts.append(data)
+        _count_pruned(pruned)
+        if len(parts) == 1:
+            out = np.ascontiguousarray(parts[0])
+        else:
+            out = np.ascontiguousarray(
+                np.concatenate(parts, axis=self.axis)
+            )
+        avoided = out.nbytes if metered_steps >= 1 else 0
+        return out, avoided
+
+
+def compile_prune_plan(base, steps, bounds):
+    """Compile a pruned prefix of *steps*, or None when ineligible.
+
+    *base* is the concrete cube the chain roots at, *steps* the
+    ``(cube, _PlanStep)`` pairs base→tail, *bounds* the chain's
+    fragment bounds.  Compilation only touches chunk *metadata*; no
+    payload is read and no counters move.
+    """
+    if not steps or base._fragments is None:
+        return None
+    pool = base._server.pool
+    try:
+        metas = [pool.chunk_meta(r.fragment_id) for r in base._fragments]
+    except (KeyError, AttributeError):
+        return None
+
+    first = steps[0][1]
+    if first.kind == "subset":
+        axis, start, stop = first.params
+        if all(m.axis == axis for m in metas):
+            return SubsetPrunePlan(pool, metas, axis, start, stop)
+        return None
+
+    links: List[_BinopLink] = []
+    dtypes = [m.dtype for m in metas]
+    for _, step in steps:
+        if step.kind == "intercube":
+            other, op_name = step.params
+            if op_name not in ("add", "sub"):
+                return None
+            if other._fragments is None or other._deleted:
+                return None
+            if (
+                other.fragment_dim != base.fragment_dim
+                or other._bounds != bounds
+            ):
+                return None
+            # Interval arithmetic is only sound where rounding is the
+            # worst case; integer chains could overflow silently.
+            if any(d.kind != "f" for d in dtypes):
+                return None
+            opool = other._server.pool
+            orefs = other._fragments
+            try:
+                ometas = [opool.chunk_meta(r.fragment_id) for r in orefs]
+            except (KeyError, AttributeError):
+                return None
+            if any(o.dtype.kind != "f" for o in ometas):
+                return None
+            if not all(
+                _layouts_match(m, o) for m, o in zip(metas, ometas)
+            ):
+                return None
+            result_dtypes = [
+                np.result_type(d, o.dtype) for d, o in zip(dtypes, ometas)
+            ]
+            links.append(
+                _BinopLink(
+                    op_name, opool, [r.fragment_id for r in orefs],
+                    ometas, result_dtypes,
+                )
+            )
+            dtypes = result_dtypes
+            continue
+        if step.kind == "apply":
+            pred = describe_predicate(step.params[1])
+            if pred is None:
+                return None
+            return PredicatePrunePlan(pool, metas, links, pred)
+        return None
+    return None

@@ -61,6 +61,19 @@ class OphidiaServer:
         Kernels that do not pickle (e.g. lambda transforms) fall back to
         the thread pool and count in
         ``ophidia_backend_fallbacks_total``.
+    memory_budget_bytes / spill_dir / spill_codec:
+        Tiered-residency knobs, passed to the
+        :class:`~repro.ophidia.storage.StoragePool`: with a nonzero
+        budget, least-recently-used fragments compress and spill to
+        *spill_dir* and reload transparently on access.
+    chunk_bytes:
+        Target fragment chunk size (per-chunk statistics drive plan
+        pruning).
+    prune:
+        Gate for statistics-based chunk/fragment pruning in the lazy
+        planner (:mod:`repro.ophidia.pruning`).  On by default; turning
+        it off forces dense sweeps, which benchmarks use as the
+        untiered baseline.
     """
 
     def __init__(
@@ -70,6 +83,11 @@ class OphidiaServer:
         filesystem: Optional[SharedFilesystem] = None,
         lazy: bool = True,
         backend: str = "thread",
+        memory_budget_bytes: int = 0,
+        spill_dir: Optional[str] = None,
+        spill_codec: str = "zlib",
+        chunk_bytes: Optional[int] = None,
+        prune: bool = True,
     ) -> None:
         if n_cores < 1:
             raise ValueError("n_cores must be >= 1")
@@ -77,11 +95,19 @@ class OphidiaServer:
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
             )
-        self.pool = StoragePool(n_io_servers)
+        pool_kwargs = dict(
+            memory_budget_bytes=memory_budget_bytes,
+            spill_dir=spill_dir,
+            codec=spill_codec,
+        )
+        if chunk_bytes is not None:
+            pool_kwargs["chunk_bytes"] = chunk_bytes
+        self.pool = StoragePool(n_io_servers, **pool_kwargs)
         self.n_cores = n_cores
         self.filesystem = filesystem
         self.lazy = bool(lazy)
         self.backend = backend
+        self.prune = bool(prune)
         self._proc: Optional[ProcessPoolBackend] = (
             ProcessPoolBackend(n_cores) if backend == "process" else None
         )
@@ -246,21 +272,24 @@ class OphidiaServer:
         self,
         ops: Sequence[str],
         kernel: FragmentKernel,
-        inputs: Sequence[np.ndarray],
+        inputs: Sequence[Any],
+        indices: Optional[Sequence[int]] = None,
         **attrs: Any,
     ) -> tuple:
         """One fragment-parallel pass executing *kernel* on worker processes.
 
-        *inputs* are the preloaded base fragment arrays; they travel to
-        the workers through shared memory.  Returns ``(arrays,
-        avoided_bytes)``; only callable after
+        *inputs* are the preloaded base fragment arrays — or picklable
+        spill handles for cold fragments, hydrated worker-side; arrays
+        travel to the workers through shared memory.  *indices* carries
+        the fragments' original positions when only a subset is swept.
+        Returns ``(arrays, avoided_bytes)``; only callable after
         :meth:`process_kernel_ready` approved the kernel.
         """
         if self._proc is None:
             raise RuntimeError("server has no process backend configured")
         ops = list(ops)
         with self._sweep_accounting(ops, "process", attrs):
-            return self._proc.map_kernel(kernel, inputs)
+            return self._proc.map_kernel(kernel, inputs, indices=indices)
 
     def process_kernel_ready(self, kernel: FragmentKernel) -> bool:
         """Whether *kernel* should run on the process backend.

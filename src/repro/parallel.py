@@ -138,8 +138,16 @@ class FragmentKernel:
     stages: Tuple[Callable[..., Any], ...]
     n_metered: int
 
-    def run(self, data: np.ndarray, i: int) -> Tuple[np.ndarray, int]:
-        """Apply all stages to fragment *i*; returns (result, avoided bytes)."""
+    def run(self, data: Any, i: int) -> Tuple[np.ndarray, int]:
+        """Apply all stages to fragment *i*; returns (result, avoided bytes).
+
+        *data* may also be a cold-fragment handle (anything exposing
+        ``hydrate()``, e.g. :class:`repro.ophidia.storage.SpillHandle`):
+        hydration happens here, inside whichever worker runs the sweep,
+        so spilled fragments never stage through the parent's memory.
+        """
+        if hasattr(data, "hydrate"):
+            data = data.hydrate()
         avoided = 0
         for k, stage in enumerate(self.stages):
             data, extra = stage(data, i)
@@ -258,28 +266,38 @@ class ProcessPoolBackend:
         return results, first_error
 
     def map_kernel(
-        self, kernel: FragmentKernel, arrays: Sequence[np.ndarray]
+        self,
+        kernel: FragmentKernel,
+        arrays: Sequence[Any],
+        indices: Optional[Sequence[int]] = None,
     ) -> Tuple[List[np.ndarray], int]:
         """Run *kernel* over pre-loaded fragment arrays in worker processes.
 
         Inputs travel via shared memory (above the inline threshold) and
-        results come back the same way.  Returns ``(results,
-        avoided_bytes)`` with the same order-preserving,
-        first-error-after-all-resolve semantics as the thread path's
-        ``map_fragments``.
+        results come back the same way.  Non-array inputs (cold-fragment
+        spill handles) ship pickled; the kernel hydrates them
+        worker-side.  *indices* overrides the fragment index passed to
+        each kernel invocation (default: position in *arrays*).
+        Returns ``(results, avoided_bytes)`` with the same
+        order-preserving, first-error-after-all-resolve semantics as
+        the thread path's ``map_fragments``.
         """
         executor = self._ensure()
+        idx = list(indices) if indices is not None else list(range(len(arrays)))
         handles: List[tuple] = []
         segments: List[shared_memory.SharedMemory] = []
         try:
             for arr in arrays:
-                handle, seg = encode_array(arr)
+                if isinstance(arr, np.ndarray):
+                    handle, seg = encode_array(arr)
+                else:
+                    handle, seg = ("inline", arr), None
                 handles.append(handle)
                 if seg is not None:
                     segments.append(seg)
             futures = [
                 executor.submit(_run_kernel_task, (kernel, handle, i))
-                for i, handle in enumerate(handles)
+                for handle, i in zip(handles, idx)
             ]
             pairs, first_error = self._drain(futures)
         finally:

@@ -28,6 +28,14 @@ class WorkflowParams:
     ophidia_cores: int = 2
     ophidia_lazy: bool = True    # fuse operator chains into single sweeps
     nfrag: int = 4
+    #: Resident-fragment byte budget per Ophidia IO server.  When the
+    #: budget is exceeded, least-recently-used fragments spill
+    #: (compressed) to the shared filesystem and reload transparently on
+    #: next access.  0 keeps every fragment resident (no tiering).
+    ophidia_memory_budget_bytes: int = 0
+    #: Directory for spilled fragment files.  ``None`` derives
+    #: ``<cluster fs>/ophidia_spill`` when a budget is set.
+    ophidia_spill_dir: Optional[str] = None
     #: Where NumPy-heavy kernels execute: ``"thread"`` (default) shares
     #: the interpreter and relies on GIL-releasing kernels;
     #: ``"process"`` runs Ophidia fragment sweeps and the ESM baseline
@@ -98,6 +106,8 @@ class WorkflowParams:
             raise ValueError("tc_target_grid must be divisible by tc_patch")
         if self.worker_cache_bytes < 0 or self.fs_cache_bytes < 0:
             raise ValueError("cache byte budgets must be non-negative")
+        if self.ophidia_memory_budget_bytes < 0:
+            raise ValueError("ophidia_memory_budget_bytes must be non-negative")
         if self.execution_backend not in ("thread", "process"):
             raise ValueError(
                 f"execution_backend must be 'thread' or 'process', "

@@ -88,10 +88,14 @@ def run_distributed_extreme_events(
     # is where the block cache pays off (the WAN staging already
     # deduplicates transfers between the sites).
     ana.filesystem.configure_cache(p.fs_cache_bytes)
+    spill_dir = p.ophidia_spill_dir
+    if spill_dir is None and p.ophidia_memory_budget_bytes > 0:
+        spill_dir = ana.filesystem.path("ophidia_spill")
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores,
         filesystem=ana.filesystem, lazy=p.ophidia_lazy,
         backend=p.execution_backend,
+        memory_budget_bytes=p.ophidia_memory_budget_bytes, spill_dir=spill_dir,
     )
     # Everything below the server construction runs inside its
     # try/finally: a failure anywhere on the setup path must still

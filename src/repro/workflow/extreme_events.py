@@ -411,9 +411,13 @@ def _run_traced(
             p.tc_model_path, p.tc_patch, fs.path("models")
         )
 
+    spill_dir = p.ophidia_spill_dir
+    if spill_dir is None and p.ophidia_memory_budget_bytes > 0:
+        spill_dir = fs.path("ophidia_spill")
     server = OphidiaServer(
         n_io_servers=p.ophidia_io_servers, n_cores=p.ophidia_cores, filesystem=fs,
         lazy=p.ophidia_lazy, backend=p.execution_backend,
+        memory_budget_bytes=p.ophidia_memory_budget_bytes, spill_dir=spill_dir,
     )
     # Everything below the server construction runs inside its
     # try/finally: a failure anywhere on the setup path must still

@@ -1,9 +1,13 @@
 """Tests for I/O servers and the storage pool."""
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.observability.metrics import MetricsRegistry, get_registry, set_registry
 from repro.ophidia import IOServer, StoragePool
+from repro.ophidia.storage import SpillHandle, available_codecs
 
 
 class TestIOServer:
@@ -89,3 +93,171 @@ class TestStoragePool:
     def test_invalid_pool_size(self):
         with pytest.raises(ValueError):
             StoragePool(0)
+
+    def test_counter_handles_follow_registry_swap(self):
+        """Cached counter handles re-validate when tests swap registries."""
+        old = get_registry()
+        try:
+            first = MetricsRegistry()
+            set_registry(first)
+            pool = StoragePool(1)
+            fid = pool.store(np.zeros(4))
+            pool.load(fid)
+            assert first.counter_value("ophidia_fragment_reads_total") == 1
+            second = MetricsRegistry()
+            set_registry(second)
+            pool.load(fid)
+            assert second.counter_value("ophidia_fragment_reads_total") == 1
+            assert first.counter_value("ophidia_fragment_reads_total") == 1
+        finally:
+            set_registry(old)
+
+
+class TestChunking:
+    def test_fragment_splits_into_chunks_with_stats(self):
+        s = IOServer("io0")
+        data = np.arange(24, dtype=np.float64).reshape(6, 4)
+        # 2 rows of 4 float64 per chunk -> 3 chunks.
+        s.put(1, data, chunk_axis=0, chunk_bytes=64)
+        meta = s.chunk_meta(1)
+        assert len(meta.chunks) == 3
+        assert [(c.start, c.stop) for c in meta.chunks] == [(0, 2), (2, 4), (4, 6)]
+        first = meta.chunks[0].stats
+        assert first.min == 0.0 and first.max == 7.0
+        assert first.null_count == 0 and first.count == 8
+
+    def test_chunk_stats_count_nans(self):
+        s = IOServer("io0")
+        data = np.array([1.0, np.nan, 3.0, np.nan])
+        s.put(1, data, chunk_bytes=1 << 20)
+        (chunk,) = s.chunk_meta(1).chunks
+        assert chunk.stats.null_count == 2
+        assert chunk.stats.min == 1.0 and chunk.stats.max == 3.0
+
+    def test_get_reassembles_multi_chunk_fragment(self):
+        s = IOServer("io0")
+        data = np.random.default_rng(0).normal(size=(7, 3))
+        s.put(1, data, chunk_axis=0, chunk_bytes=48)
+        np.testing.assert_array_equal(s.get(1), data)
+
+    def test_load_chunk_returns_slice(self):
+        s = IOServer("io0")
+        data = np.arange(24, dtype=np.float64).reshape(6, 4)
+        s.put(1, data, chunk_axis=0, chunk_bytes=64)
+        np.testing.assert_array_equal(s.load_chunk(1, 1), data[2:4])
+        assert s.stats.chunk_reads == 1
+        with pytest.raises(KeyError):
+            s.load_chunk(1, 9)
+
+    def test_chunk_meta_does_not_count_a_read(self):
+        s = IOServer("io0")
+        s.put(1, np.zeros(8))
+        s.chunk_meta(1)
+        assert s.stats.fragment_reads == 0
+        assert s.stats.bytes_read == 0
+
+
+class TestImmutability:
+    def test_single_chunk_read_is_read_only(self):
+        s = IOServer("io0")
+        s.put(1, np.arange(4.0))
+        view = s.get(1)
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+    def test_multi_chunk_read_is_read_only(self):
+        s = IOServer("io0")
+        s.put(1, np.arange(32.0), chunk_bytes=64)
+        view = s.get(1)
+        with pytest.raises(ValueError):
+            view[:] = 0.0
+
+    def test_stored_fragment_unaffected_by_source_mutation(self):
+        s = IOServer("io0")
+        src = np.arange(4.0)
+        s.put(1, src)
+        # The store may alias the caller's buffer; the read-only contract
+        # covers what readers can do, not the writer's own array.
+        np.testing.assert_array_equal(s.get(1), np.arange(4.0))
+
+
+class TestSpillTier:
+    def _pool(self, tmp_path, budget, **kw):
+        return StoragePool(
+            1, memory_budget_bytes=budget, spill_dir=str(tmp_path), **kw
+        )
+
+    def test_budget_requires_spill_dir(self):
+        with pytest.raises(ValueError):
+            StoragePool(1, memory_budget_bytes=100)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            StoragePool(1, codec="nope")
+        assert "zlib" in available_codecs()
+
+    def test_spill_and_transparent_reload(self, tmp_path):
+        pool = self._pool(tmp_path, budget=100)
+        data = np.random.default_rng(1).normal(size=64)  # 512 bytes
+        fid = pool.store(data)
+        assert pool.spilled_fragments == 1
+        assert len(os.listdir(tmp_path)) == 1
+        np.testing.assert_array_equal(pool.load(fid), data)
+        assert pool.total_stats().reloaded_bytes == data.nbytes
+
+    def test_lru_eviction_order(self, tmp_path):
+        pool = self._pool(tmp_path, budget=600)
+        a = pool.store(np.zeros(32))   # 256 bytes each
+        b = pool.store(np.zeros(32))
+        pool.load(a)                   # a is now most-recently used
+        c = pool.store(np.zeros(32))   # over budget: evict b, not a
+        srv = pool.servers[0]
+        assert srv.is_resident(a) and srv.is_resident(c)
+        assert not srv.is_resident(b)
+
+    def test_load_chunk_on_cold_fragment_stays_cold(self, tmp_path):
+        pool = self._pool(tmp_path, budget=100, chunk_bytes=128)
+        data = np.arange(64, dtype=np.float64)
+        fid = pool.store(data)
+        srv = pool.servers[0]
+        assert not srv.is_resident(fid)
+        np.testing.assert_array_equal(pool.load_chunk(fid, 1), data[16:32])
+        assert not srv.is_resident(fid)
+
+    def test_load_handle_round_trips_cold_fragment(self, tmp_path):
+        pool = self._pool(tmp_path, budget=100)
+        data = np.random.default_rng(2).normal(size=(8, 8))
+        fid = pool.store(data)
+        handle = pool.load_handle(fid)
+        assert isinstance(handle, SpillHandle)
+        np.testing.assert_array_equal(handle.hydrate(), data)
+        with pytest.raises(ValueError):
+            handle.hydrate()[0, 0] = 1.0
+
+    def test_delete_unlinks_spill_file(self, tmp_path):
+        pool = self._pool(tmp_path, budget=100)
+        fid = pool.store(np.zeros(64))
+        assert len(os.listdir(tmp_path)) == 1
+        pool.delete(fid)
+        assert len(os.listdir(tmp_path)) == 0
+
+    def test_spill_failure_keeps_fragment_resident(self, tmp_path, monkeypatch):
+        import repro.ophidia.storage as storage_mod
+
+        old = get_registry()
+        try:
+            reg = MetricsRegistry()
+            set_registry(reg)
+            pool = self._pool(tmp_path, budget=100)
+
+            def boom(*args, **kwargs):
+                raise OSError("disk full")
+
+            monkeypatch.setattr(storage_mod, "_write_spill_file", boom)
+            data = np.random.default_rng(3).normal(size=64)
+            fid = pool.store(data)
+            assert pool.servers[0].is_resident(fid)
+            assert reg.counter_value("ophidia_spill_failures_total") == 1
+            np.testing.assert_array_equal(pool.load(fid), data)
+        finally:
+            set_registry(old)
