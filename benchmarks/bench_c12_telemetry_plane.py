@@ -1,0 +1,135 @@
+"""C12 — the cross-process telemetry plane: zero loss, bounded cost.
+
+The process backend executes fragment kernels in spawn workers whose
+spans and metric increments only reach the driver through the shipped
+telemetry envelope.  This benchmark runs the paper's Listing-1 style
+operator chain once per backend under a fresh registry and checks the
+plane's two promises:
+
+* **zero loss** — the process run's Ophidia counter families equal the
+  thread run's exactly (every worker-side fact was shipped and merged),
+  and every worker kernel span joins the driver's single trace under
+  the dispatching sweep span;
+* **bounded cost** — shipping rides the existing result pickle, so the
+  headline is accounted as the worker spans and CPU seconds recovered
+  per sweep rather than a separate transport.
+
+Headline metrics (all deterministic; the sequential chain has no
+scheduler interleaving to jitter the accounting):
+
+* ``counter_families_equal`` — 1.0 when thread and process Ophidia
+  counter deltas match exactly;
+* ``worker_kernel_spans`` — worker-side kernel spans shipped into the
+  driver's trace;
+* ``trace_count`` — distinct trace ids across all shipped spans (must
+  stay 1.0: workers join the driver's trace, never start their own).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.observability import get_collector, snapshot_value, span
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.ophidia import Client, OphidiaServer
+from repro.ophidia.datacube import Cube
+
+
+def _counter_families(metrics):
+    out = {}
+    for name, family in metrics.items():
+        if family["kind"] != "counter" or not name.startswith("ophidia_"):
+            continue
+        series = {
+            tuple(sorted((k, str(v)) for k, v in entry["labels"].items())):
+                entry["value"]
+            for entry in family["series"]
+        }
+        if name == "ophidia_backend_sweeps_total":
+            series = {(): sum(series.values())}  # label names the backend
+        out[name] = series
+    return out
+
+
+def run_chain(backend: str):
+    """One Listing-1 chain under a fresh registry; returns its telemetry."""
+    previous = get_registry()
+    registry = set_registry(MetricsRegistry())
+    server = OphidiaServer(
+        n_io_servers=2, n_cores=2, lazy=True, backend=backend
+    )
+    try:
+        with span(f"bench.c12-{backend}", layer="benchmark",
+                  new_trace=True) as root:
+            client = Client(server)
+            rng = np.random.default_rng(7)
+            data = rng.normal(300.0, 8.0, size=(8, 120, 30)).astype(np.float32)
+            tmax = Cube.from_array(
+                data, dims=["lat", "time", "lon"], client=client,
+                fragment_dim="lat", nfrag=8, measure="TMAX",
+            )
+            base = Cube.from_array(
+                data.mean(axis=1, keepdims=True).repeat(120, axis=1),
+                dims=["lat", "time", "lon"], client=client,
+                fragment_dim="lat", nfrag=8, measure="TMAX_BASELINE",
+            )
+            durations = tmax.intercube(base, "sub").apply(
+                "oph_predicate('OPH_FLOAT','OPH_INT',measure,'x','>5','1','0')"
+            ).runlength("time")
+            durations.reduce("max", dim="time").to_array()
+            durations.reduce("sum", dim="time").to_array()
+        trace_id = root.context.trace_id
+    finally:
+        server.shutdown()
+        set_registry(previous)
+    metrics = registry.snapshot().to_json()
+    spans = get_collector().for_trace(trace_id)
+    return metrics, spans, trace_id
+
+
+class TestC12TelemetryPlane:
+    def test_telemetry_plane(self, record_bench):
+        thread_metrics, _, _ = run_chain("thread")
+        process_metrics, spans, trace_id = run_chain("process")
+
+        thread_families = _counter_families(thread_metrics)
+        process_families = _counter_families(process_metrics)
+        families_equal = float(thread_families == process_families)
+
+        worker_spans = [s for s in spans if s.layer == "worker"]
+        kernel_spans = [s for s in worker_spans if s.name == "worker.kernel"]
+        sweep_ids = {s.span_id for s in spans if s.layer == "ophidia"}
+        parented = sum(1 for s in kernel_spans if s.parent_id in sweep_ids)
+        trace_ids = {s.trace_id for s in spans}
+        worker_cpu = snapshot_value(
+            process_metrics, "process_cpu_seconds_total", role="worker"
+        )
+
+        print_table(
+            "C12: cross-process telemetry plane",
+            ("quantity", "thread", "process"),
+            [
+                ("ophidia counter families", len(thread_families),
+                 len(process_families)),
+                ("families byte-equal", "-", bool(families_equal)),
+                ("worker kernel spans", 0, len(kernel_spans)),
+                ("…parented under sweep", 0, parented),
+                ("distinct trace ids", 1, len(trace_ids)),
+                ("worker CPU shipped (s)", 0.0, round(worker_cpu, 3)),
+            ],
+        )
+
+        assert families_equal == 1.0
+        assert kernel_spans and parented == len(kernel_spans)
+        assert len(trace_ids) == 1
+        assert worker_cpu > 0
+
+        record_bench(
+            "c12_telemetry_plane",
+            counter_families_equal=families_equal,
+            worker_kernel_spans=float(len(kernel_spans)),
+            trace_count=float(len(trace_ids)),
+        )

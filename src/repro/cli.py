@@ -37,6 +37,9 @@ Commands
 ``submit``
     Enqueue a workflow job for a tenant into the service database; a
     running (or later-started) ``service run`` launches it.
+``top``
+    Live per-tenant fleet view (tenants, jobs, worker CPU/RSS, ready
+    queue, recent events) assembled from runs.db and events.jsonl.
 ``info``
     Print the component inventory and version.
 """
@@ -485,7 +488,7 @@ def _cmd_tail(args) -> int:
     try:
         for event in tail_events(
             args.path, min_severity=args.level, component=args.component,
-            follow=args.follow,
+            follow=args.follow, poll_interval=args.poll_interval,
         ):
             print(render_event(event), flush=args.follow)
     except FileNotFoundError:
@@ -662,6 +665,36 @@ def _cmd_submit(args) -> int:
         print(str(exc.args[0] if exc.args else exc), file=sys.stderr)
         return 2
     print(json.dumps(job.to_json(), indent=1))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    """Live per-tenant fleet view assembled from runs.db + events.jsonl."""
+    import time
+
+    from repro.service.top import gather_top_state, render_top
+
+    db = _open_service_db(args)
+    if db is None:
+        return 2
+    if args.once:
+        state = gather_top_state(db, events_path=args.events,
+                                 limit=args.limit)
+        if args.format == "json":
+            print(json.dumps(state, indent=1))
+        else:
+            print(render_top(state), end="")
+        return 0
+    try:
+        while True:
+            state = gather_top_state(db, events_path=args.events,
+                                     limit=args.limit)
+            # Clear screen + home, then redraw — a full-screen live view.
+            sys.stdout.write("\x1b[2J\x1b[H" + render_top(state))
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        sys.stdout.write("\n")
     return 0
 
 
@@ -855,6 +888,11 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--component", default=None,
                       help="only events from this component (workflow, "
                            "compss, lsf, ophidia, chaos, faults, slo)")
+    tail.add_argument("--poll-interval", type=float, default=0.2,
+                      metavar="SECONDS",
+                      help="base sleep between --follow polls; backs off "
+                           "geometrically (up to 16x) while the log is idle "
+                           "(default 0.2)")
     tail.set_defaults(fn=_cmd_tail)
 
     slo = sub.add_parser(
@@ -941,6 +979,25 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--db", default=None, metavar="PATH",
                         help="service database (default: $REPRO_RUNS_DB)")
     submit.set_defaults(fn=_cmd_submit)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-tenant fleet view (tenants, jobs, worker CPU/RSS, "
+             "queue depth, recent events) from runs.db + events.jsonl",
+    )
+    top.add_argument("--db", default=None, metavar="PATH",
+                     help="service database (default: $REPRO_RUNS_DB)")
+    top.add_argument("--events", default=None, metavar="PATH",
+                     help="also show the tail of this events.jsonl")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (for scripting)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="refresh period for the live view (default 2)")
+    top.add_argument("--limit", type=int, default=10,
+                     help="rows per table (default 10)")
+    top.add_argument("--format", choices=("text", "json"), default="text",
+                     help="with --once, emit the raw state as JSON")
+    top.set_defaults(fn=_cmd_top)
 
     report = sub.add_parser("report", help="Markdown report from a run summary")
     report.add_argument("summary", help="path to a run_summary.json")

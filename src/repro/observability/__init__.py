@@ -84,6 +84,19 @@ from repro.observability.history import (
     render_run,
     render_run_table,
 )
+from repro.observability.resources import (
+    ResourceSampler,
+    process_sampler,
+    sample_process_resources,
+)
+from repro.observability.shipping import (
+    TelemetryCapture,
+    deserialize_context,
+    merge_envelope,
+    serialize_context,
+    span_from_json,
+    span_to_json,
+)
 from repro.observability.slo import (
     SLOMonitor,
     SLOResult,
@@ -151,6 +164,15 @@ __all__ = [
     "render_comparison",
     "render_run",
     "render_run_table",
+    "ResourceSampler",
+    "process_sampler",
+    "sample_process_resources",
+    "TelemetryCapture",
+    "deserialize_context",
+    "merge_envelope",
+    "serialize_context",
+    "span_from_json",
+    "span_to_json",
     "SLOMonitor",
     "SLOResult",
     "SLORule",

@@ -342,6 +342,7 @@ def tail_events(
     component: Optional[str] = None,
     follow: bool = False,
     poll_interval: float = 0.2,
+    max_poll_interval: Optional[float] = None,
     stop: Optional[Callable[[], bool]] = None,
 ) -> Iterator[Event]:
     """Yield events from a JSONL file, optionally following appends.
@@ -349,13 +350,22 @@ def tail_events(
     With *follow*, keeps polling for new lines until *stop* (when
     given) returns True; partial trailing lines are left unconsumed
     until their newline arrives, so a concurrent writer never yields a
-    torn event.
+    torn event.  While the file is idle the sleep backs off
+    geometrically from *poll_interval* up to *max_poll_interval*
+    (default 16x) and snaps back to *poll_interval* as soon as new
+    bytes arrive, so a quiet tail costs almost nothing but a busy one
+    stays responsive.
     """
+    if max_poll_interval is None:
+        max_poll_interval = poll_interval * 16
+    max_poll_interval = max(max_poll_interval, poll_interval)
     with open(path, "r", encoding="utf-8") as fh:
         buffer = ""
+        sleep_for = poll_interval
         while True:
             chunk = fh.read(65536)
             if chunk:
+                sleep_for = poll_interval
                 buffer += chunk
                 while "\n" in buffer:
                     line, buffer = buffer.split("\n", 1)
@@ -370,7 +380,8 @@ def tail_events(
                 continue
             if not follow or (stop is not None and stop()):
                 return
-            time.sleep(poll_interval)
+            time.sleep(sleep_for)
+            sleep_for = min(sleep_for * 1.5, max_poll_interval)
 
 
 # ---------------------------------------------------------------------------

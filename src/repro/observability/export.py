@@ -41,13 +41,15 @@ def build_perfetto_trace(
     spans: Sequence[Span],
     task_events: Optional[Iterable[Any]] = None,
     tracer_epoch: Optional[float] = None,
+    dropped: int = 0,
 ) -> str:
     """Merge spans and COMPSs task events into trace-event JSON.
 
     *task_events* are :class:`~repro.compss.tracing.TaskEvent` records;
     *tracer_epoch* is the tracer's ``epoch`` (monotonic seconds), needed
     to place them on the spans' clock.  Timestamps are shifted so the
-    trace starts at 0.
+    trace starts at 0.  *dropped* (the collector's drop count) is
+    stamped into the trace as metadata so a truncated trace says so.
     """
     task_events = list(task_events or [])
     starts: List[float] = [s.start for s in spans]
@@ -59,6 +61,11 @@ def build_perfetto_trace(
         {"ph": "M", "pid": _SPAN_PID, "name": "process_name",
          "args": {"name": "spans"}},
     ]
+    if dropped:
+        events.append({
+            "ph": "M", "pid": _SPAN_PID, "name": "spans_dropped",
+            "args": {"dropped": int(dropped)},
+        })
 
     seen_threads: Dict[int, str] = {}
     for s in spans:
@@ -133,6 +140,7 @@ def render_run_report(
     snapshot: MetricsSnapshot,
     spans: Sequence[Span] = (),
     title: str = "Run report",
+    dropped: int = 0,
 ) -> str:
     """Plain-text run summary: headline metrics plus per-layer span time."""
     lines = [title, "=" * len(title), ""]
@@ -186,4 +194,6 @@ def render_run_report(
         trace_ids = {s.trace_id for s in spans}
         lines.append("")
         lines.append(f"traces: {len(trace_ids)}  spans: {len(spans)}")
+    if dropped:
+        lines.append(f"WARNING: {dropped} spans dropped (collector full)")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,108 @@
+"""Per-process resource sampling: CPU seconds and resident set size.
+
+Every process that participates in a workflow run — the driver and each
+spawn-based pool worker — carries one :class:`ResourceSampler` per role.
+Samples land in the process-local metrics registry as two families:
+
+* ``process_cpu_seconds_total{role,pid}`` — counter of user+system CPU
+  consumed by this process, from :func:`resource.getrusage` (no psutil);
+* ``process_rss_bytes{role,pid}`` — gauge of the current resident set,
+  from ``/proc/self/statm`` (falling back to ``ru_maxrss`` where procfs
+  is unavailable, e.g. macOS).
+
+Workers ship their registry delta back to the driver through the
+telemetry envelope (:mod:`repro.observability.shipping`), so one merged
+snapshot answers "how much CPU and memory did this run burn, per
+process role" no matter how many processes executed it.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import threading
+from typing import Dict, Optional
+
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "ResourceSampler",
+    "process_sampler",
+    "sample_process_resources",
+]
+
+
+def _cpu_seconds() -> float:
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return usage.ru_utime + usage.ru_stime
+
+
+def _rss_bytes() -> float:
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            fields = fh.read().split()
+        return float(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        # ru_maxrss is kilobytes on Linux (and a high-water mark, not
+        # the current RSS) — a serviceable fallback off procfs systems.
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+
+
+class ResourceSampler:
+    """Emit CPU/RSS metrics for this process under a fixed *role* label."""
+
+    def __init__(self, role: str, registry: Optional[MetricsRegistry] = None) -> None:
+        self.role = role
+        self.pid = str(os.getpid())
+        self._registry = registry
+        self._last_cpu: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def _reg(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def sample(self, baseline_only: bool = False) -> None:
+        """Take one sample.
+
+        With *baseline_only* the current CPU total is remembered but not
+        emitted — the driver calls this when a run begins, so CPU burned
+        before the run never pollutes the run's snapshot delta.  The
+        first non-baseline sample with no prior baseline emits the full
+        cumulative CPU (right for workers: spawn and import cost is part
+        of what the run paid for).
+        """
+        registry = self._reg()
+        cpu = _cpu_seconds()
+        with self._lock:
+            if not baseline_only:
+                delta = cpu if self._last_cpu is None else cpu - self._last_cpu
+                if delta > 0:
+                    registry.counter(
+                        "process_cpu_seconds_total",
+                        "User+system CPU seconds consumed, by process",
+                        ("role", "pid"),
+                    ).inc(delta, role=self.role, pid=self.pid)
+            self._last_cpu = cpu
+        registry.gauge(
+            "process_rss_bytes",
+            "Current resident set size, by process",
+            ("role", "pid"),
+        ).set(_rss_bytes(), role=self.role, pid=self.pid)
+
+
+_samplers: Dict[str, ResourceSampler] = {}
+_samplers_lock = threading.Lock()
+
+
+def process_sampler(role: str) -> ResourceSampler:
+    """The process-wide sampler for *role* (one per role, per process)."""
+    with _samplers_lock:
+        sampler = _samplers.get(role)
+        if sampler is None or sampler.pid != str(os.getpid()):
+            sampler = _samplers[role] = ResourceSampler(role)
+        return sampler
+
+
+def sample_process_resources(role: str, baseline_only: bool = False) -> None:
+    """Shorthand: sample into the process-wide registry under *role*."""
+    process_sampler(role).sample(baseline_only=baseline_only)

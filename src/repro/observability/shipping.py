@@ -1,0 +1,237 @@
+"""Cross-process telemetry shipping: spans and metrics over pickle.
+
+Spawn-based pool workers are separate processes with their own span
+collector and metrics registry, so anything they record is invisible to
+the driver — unless it is *shipped* back.  This module is the channel:
+
+* the parent serialises its active :class:`SpanContext`
+  (:func:`serialize_context`) and sends it with each task;
+* the worker wraps the task in a :class:`TelemetryCapture`, which
+  activates the parent context (worker spans join the driver's trace,
+  parenting under the dispatching sweep span), collects spans into a
+  private collector, and brackets the worker registry with snapshots;
+* the capture's :meth:`~TelemetryCapture.envelope` packages the
+  recorded spans + the registry delta + the drop count as plain JSON
+  data, returned alongside the shared-memory result;
+* the parent calls :func:`merge_envelope`, folding the delta into its
+  registry (:meth:`MetricsRegistry.merge_delta`) and the spans into its
+  collector.
+
+Everything here is best-effort by design: a telemetry failure must
+never fail the kernel whose telemetry it is.  Timestamps stay
+comparable because ``time.monotonic`` is CLOCK_MONOTONIC, which is
+system-wide on Linux — a worker span slots into the parent's Perfetto
+timeline without translation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.observability.metrics import (
+    MetricsRegistry, MetricsSnapshot, get_registry,
+)
+from repro.observability.spans import (
+    Span, SpanContext, TraceCollector, activate, get_collector,
+    maybe_span, set_collector,
+)
+
+__all__ = [
+    "TelemetryCapture",
+    "deserialize_context",
+    "merge_envelope",
+    "serialize_context",
+    "span_from_json",
+    "span_to_json",
+]
+
+
+# -- serialisation -----------------------------------------------------------
+
+def serialize_context(ctx: Optional[SpanContext]) -> Optional[Tuple[str, str]]:
+    """A picklable (trace_id, span_id) pair, or None outside a trace."""
+    if ctx is None:
+        return None
+    return (ctx.trace_id, ctx.span_id)
+
+
+def deserialize_context(pair: Optional[Tuple[str, str]]) -> Optional[SpanContext]:
+    if pair is None:
+        return None
+    return SpanContext(pair[0], pair[1])
+
+
+def span_to_json(span_: Span) -> Dict[str, Any]:
+    return {
+        "name": span_.name,
+        "trace_id": span_.trace_id,
+        "span_id": span_.span_id,
+        "parent_id": span_.parent_id,
+        "layer": span_.layer,
+        "start": span_.start,
+        "end": span_.end,
+        "status": span_.status,
+        "attrs": dict(span_.attrs),
+        "thread_id": span_.thread_id,
+        "thread_name": span_.thread_name,
+    }
+
+
+def span_from_json(doc: Dict[str, Any]) -> Span:
+    return Span(
+        name=doc["name"],
+        trace_id=doc["trace_id"],
+        span_id=doc["span_id"],
+        parent_id=doc.get("parent_id"),
+        layer=doc.get("layer", "app"),
+        start=doc["start"],
+        end=doc["end"],
+        status=doc.get("status", "OK"),
+        attrs=dict(doc.get("attrs", {})),
+        thread_id=int(doc.get("thread_id", 0)),
+        thread_name=doc.get("thread_name", ""),
+    )
+
+
+# -- worker side -------------------------------------------------------------
+
+class TelemetryCapture:
+    """Capture one worker call's telemetry for shipping to the parent.
+
+    Entering installs a fresh private collector, snapshots the worker's
+    registry, activates the parent :class:`SpanContext` and opens a span
+    named *name* (layer ``worker``) that every span the call records
+    parents under.  Spawn-pool workers execute one task at a time on a
+    single thread, so swapping the process-wide collector for the call
+    is safe.  Exiting samples the worker's CPU/RSS, restores the
+    previous collector, and makes :meth:`envelope` available.
+    """
+
+    def __init__(
+        self,
+        parent: Optional[Tuple[str, str]],
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        role: str = "worker",
+    ) -> None:
+        self._parent = deserialize_context(parent)
+        self._name = name
+        self._attrs = dict(attrs or {})
+        self._role = role
+        self._envelope: Optional[Dict[str, Any]] = None
+        self._saved: Optional[TraceCollector] = None
+        self._capture: Optional[TraceCollector] = None
+        self._before: Optional[MetricsSnapshot] = None
+        self._activation = None
+        self._span_cm = None
+        self._done = False
+
+    def __enter__(self) -> "TelemetryCapture":
+        try:
+            self._saved = get_collector()
+            self._capture = set_collector(TraceCollector())
+            self._before = get_registry().snapshot()
+            self._activation = activate(self._parent)
+            self._activation.__enter__()
+            self._span_cm = maybe_span(
+                self._name, layer="worker", attrs=self._attrs
+            )
+            self._span_cm.__enter__()
+        except Exception:
+            self._teardown(None, None, None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._teardown(exc_type, exc, tb)
+        return False
+
+    def _teardown(self, exc_type, exc, tb) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self._span_cm is not None:
+            try:
+                self._span_cm.__exit__(exc_type, exc, tb)
+            except Exception:
+                pass
+            self._span_cm = None
+        if self._activation is not None:
+            try:
+                self._activation.__exit__(None, None, None)
+            except Exception:
+                pass
+            self._activation = None
+        try:
+            from repro.observability.resources import sample_process_resources
+
+            sample_process_resources(self._role)
+        except Exception:
+            pass
+        spans: List[Dict[str, Any]] = []
+        dropped = 0
+        if self._capture is not None:
+            pid = os.getpid()
+            for span_ in self._capture.spans():
+                doc = span_to_json(span_)
+                # Worker thread ids can collide with parent thread ids;
+                # rename the lane so Perfetto keeps processes apart.
+                doc["thread_name"] = f"worker-pid{pid}"
+                spans.append(doc)
+            dropped = self._capture.dropped
+        metrics: Dict[str, Any] = {}
+        if self._before is not None:
+            try:
+                metrics = get_registry().snapshot().delta(self._before).to_json()
+            except Exception:
+                metrics = {}
+        self._envelope = {"spans": spans, "metrics": metrics, "dropped": dropped}
+        if self._saved is not None:
+            try:
+                set_collector(self._saved)
+            except Exception:
+                pass
+            self._saved = None
+        self._capture = None
+        self._before = None
+
+    def envelope(self) -> Dict[str, Any]:
+        """The shippable telemetry payload (valid after the block exits)."""
+        return self._envelope or {"spans": [], "metrics": {}, "dropped": 0}
+
+
+# -- parent side -------------------------------------------------------------
+
+def merge_envelope(
+    envelope: Optional[Dict[str, Any]],
+    registry: Optional[MetricsRegistry] = None,
+    collector: Optional[TraceCollector] = None,
+) -> None:
+    """Fold a worker's telemetry envelope into this process.
+
+    Metrics merge via :meth:`MetricsRegistry.merge_delta`; spans are
+    recorded into the collector verbatim (they already carry the
+    parent's ``trace_id``); worker-side drops are accounted via
+    :meth:`TraceCollector.note_dropped`.  Never raises.
+    """
+    if not envelope:
+        return
+    if registry is None:
+        registry = get_registry()
+    if collector is None:
+        collector = get_collector()
+    try:
+        metrics = envelope.get("metrics")
+        if metrics:
+            registry.merge_delta(metrics)
+    except Exception:
+        pass
+    try:
+        for doc in envelope.get("spans", ()):
+            collector.record(span_from_json(doc))
+    except Exception:
+        pass
+    try:
+        collector.note_dropped(int(envelope.get("dropped", 0)))
+    except Exception:
+        pass

@@ -119,8 +119,51 @@ class TraceCollector:
         with self._lock:
             if len(self._spans) >= self.max_spans:
                 self._dropped += 1
+                first_drop = self._dropped == 1
+            else:
+                self._spans.append(span_)
                 return
-            self._spans.append(span_)
+        self._on_drop(1, first_drop)
+
+    def note_dropped(self, n: int) -> None:
+        """Account spans dropped elsewhere (e.g. inside a worker)."""
+        if n <= 0:
+            return
+        with self._lock:
+            first_drop = self._dropped == 0
+            self._dropped += n
+        self._on_drop(n, first_drop)
+
+    def _on_drop(self, n: int, first_drop: bool) -> None:
+        # Outside the collector lock: the metrics registry and event log
+        # take their own locks (and event subscribers run arbitrary
+        # code).  Lazy imports avoid a module cycle — events.py imports
+        # this module at load time.  Best-effort: telemetry about lost
+        # telemetry must never break the traced workload.
+        try:
+            from repro.observability.metrics import get_registry
+
+            get_registry().counter(
+                "trace_spans_dropped_total",
+                "Spans discarded past TraceCollector.max_spans",
+            ).inc(n)
+        except Exception:
+            pass
+        if not first_drop:
+            return
+        try:
+            from repro.observability.events import emit_event
+
+            emit_event(
+                "WARNING", "observability", "trace_spans_dropped",
+                message=(
+                    f"trace collector full (max_spans={self.max_spans}); "
+                    "dropping further spans"
+                ),
+                max_spans=self.max_spans,
+            )
+        except Exception:
+            pass
 
     def spans(self) -> List[Span]:
         with self._lock:

@@ -25,7 +25,8 @@ lookup resolves in a spawned worker for free.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+import functools
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.ophidia.primitives import evaluate_ast
 __all__ = [
     "INTERCUBE_OPS",
     "REDUCERS",
+    "kernel_stage_names",
     "run_lengths",
     "stage_apply",
     "stage_binop",
@@ -66,6 +68,23 @@ INTERCUBE_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "less": lambda a, b: (a < b).astype(np.int8),
     "less_equal": lambda a, b: (a <= b).astype(np.int8),
 }
+
+
+def kernel_stage_names(kernel: Any) -> List[str]:
+    """Human-readable stage names of a compiled kernel (span attributes).
+
+    Stages are ``functools.partial`` specialisations of the module-level
+    functions below; unwrap to the underlying function's name so worker
+    spans say what the sweep computed (``stage_apply``, ``stage_reduce``,
+    ...) without shipping the callables themselves.
+    """
+    names: List[str] = []
+    for stage in getattr(kernel, "stages", ()):
+        fn = stage
+        while isinstance(fn, functools.partial):
+            fn = fn.func
+        names.append(getattr(fn, "__name__", repr(fn)))
+    return names
 
 
 def run_lengths(mask: np.ndarray, axis: int) -> np.ndarray:

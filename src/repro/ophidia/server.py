@@ -27,6 +27,7 @@ from repro.netcdf import Dataset, Variable, read_variable, write_dataset
 from repro.observability.events import emit_event
 from repro.observability.metrics import get_registry
 from repro.observability.spans import activate, current_context, maybe_span
+from repro.ophidia.kernels import kernel_stage_names
 from repro.ophidia.storage import StoragePool, StorageStats
 from repro.parallel import FragmentKernel, ProcessPoolBackend, payload_picklable
 
@@ -289,7 +290,13 @@ class OphidiaServer:
             raise RuntimeError("server has no process backend configured")
         ops = list(ops)
         with self._sweep_accounting(ops, "process", attrs):
-            return self._proc.map_kernel(kernel, inputs, indices=indices)
+            return self._proc.map_kernel(
+                kernel, inputs, indices=indices,
+                span_attrs={
+                    "ops": ",".join(ops),
+                    "stages": ",".join(kernel_stage_names(kernel)),
+                },
+            )
 
     def process_kernel_ready(self, kernel: FragmentKernel) -> bool:
         """Whether *kernel* should run on the process backend.

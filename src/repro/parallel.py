@@ -26,9 +26,14 @@ import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import get_context, shared_memory
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.observability.shipping import (
+    TelemetryCapture, merge_envelope, serialize_context,
+)
+from repro.observability.spans import current_context
 
 __all__ = [
     "SHM_MIN_BYTES",
@@ -157,21 +162,32 @@ class FragmentKernel:
         return np.asarray(data), avoided
 
 
-def _run_kernel_task(payload: tuple) -> Tuple[tuple, int]:
-    """Worker-side sweep step: map input, run the kernel, encode the result."""
-    kernel, in_handle, i = payload
-    arr, seg = _attach(in_handle)
-    try:
-        out, avoided = kernel.run(arr, i)
-    finally:
-        if seg is not None:
-            seg.close()
+def _run_kernel_task(payload: tuple) -> Tuple[tuple, int, Dict[str, Any]]:
+    """Worker-side sweep step: map input, run the kernel, encode the result.
+
+    The payload's optional fourth and fifth members are the parent's
+    serialized span context and extra span attributes; the kernel runs
+    under a :class:`TelemetryCapture` so its spans/metrics ship back in
+    the returned envelope alongside the shared-memory result.
+    """
+    kernel, in_handle, i = payload[0], payload[1], payload[2]
+    ctx = payload[3] if len(payload) > 3 else None
+    attrs = dict(payload[4]) if len(payload) > 4 else {}
+    attrs["fragment"] = i
+    capture = TelemetryCapture(ctx, "worker.kernel", attrs=attrs)
+    with capture:
+        arr, seg = _attach(in_handle)
+        try:
+            out, avoided = kernel.run(arr, i)
+        finally:
+            if seg is not None:
+                seg.close()
     out_handle, out_seg = encode_array(out)
     if out_seg is not None:
         # Ownership transfers to the parent, which unlinks after copying.
         _untrack(out_seg)
         out_seg.close()
-    return out_handle, avoided
+    return out_handle, avoided, capture.envelope()
 
 
 def _pack(obj: Any) -> tuple:
@@ -200,8 +216,13 @@ def _unpack(packed: tuple) -> Any:
     return value
 
 
-def _call_packed(fn: Callable[[Any], Any], item: Any) -> tuple:
-    return _pack(fn(item))
+def _call_packed(
+    fn: Callable[[Any], Any], item: Any, ctx: Any = None
+) -> Tuple[tuple, Dict[str, Any]]:
+    capture = TelemetryCapture(ctx, "worker.map")
+    with capture:
+        packed = _pack(fn(item))
+    return packed, capture.envelope()
 
 
 class ProcessPoolBackend:
@@ -270,6 +291,7 @@ class ProcessPoolBackend:
         kernel: FragmentKernel,
         arrays: Sequence[Any],
         indices: Optional[Sequence[int]] = None,
+        span_attrs: Optional[Dict[str, Any]] = None,
     ) -> Tuple[List[np.ndarray], int]:
         """Run *kernel* over pre-loaded fragment arrays in worker processes.
 
@@ -281,8 +303,16 @@ class ProcessPoolBackend:
         Returns ``(results, avoided_bytes)`` with the same
         order-preserving, first-error-after-all-resolve semantics as
         the thread path's ``map_fragments``.
+
+        The caller's active span context ships with every task, so
+        worker kernel spans join the caller's trace (parenting under
+        the dispatching sweep span), and each task's metrics delta
+        merges back into this process's registry — a process sweep is
+        telemetry-equivalent to a thread sweep.  *span_attrs* annotate
+        the worker spans (e.g. the fused stage names).
         """
         executor = self._ensure()
+        ctx = serialize_context(current_context())
         idx = list(indices) if indices is not None else list(range(len(arrays)))
         handles: List[tuple] = []
         segments: List[shared_memory.SharedMemory] = []
@@ -296,10 +326,13 @@ class ProcessPoolBackend:
                 if seg is not None:
                     segments.append(seg)
             futures = [
-                executor.submit(_run_kernel_task, (kernel, handle, i))
+                executor.submit(
+                    _run_kernel_task,
+                    (kernel, handle, i, ctx, span_attrs or {}),
+                )
                 for handle, i in zip(handles, idx)
             ]
-            pairs, first_error = self._drain(futures)
+            triples, first_error = self._drain(futures)
         finally:
             # Inputs are dead once every task resolved (each child holds
             # its own mapping only for the kernel's duration).
@@ -311,15 +344,18 @@ class ProcessPoolBackend:
                     pass
         results: List[np.ndarray] = []
         avoided = 0
-        for pair in pairs:
-            if pair is None:
+        for triple in triples:
+            if triple is None:
                 results.append(None)
                 continue
-            out_handle, extra = pair
+            out_handle, extra, envelope = triple
             # Decode (and unlink) even when a sibling failed, so a
             # partial sweep cannot leak the successful results' segments.
             results.append(decode_array(out_handle))
             avoided += extra
+            # Merge telemetry even on partially failed sweeps: the
+            # successful tasks' spans and counters are real work done.
+            merge_envelope(envelope)
         if first_error is not None:
             raise first_error
         return results, avoided
@@ -328,12 +364,24 @@ class ProcessPoolBackend:
         """Generic process map; ndarray results return via shared memory.
 
         *fn* must be picklable (a module-level function or a
-        ``functools.partial`` over one).
+        ``functools.partial`` over one).  As with :meth:`map_kernel`,
+        the caller's span context propagates and each item's telemetry
+        envelope merges back on completion.
         """
         executor = self._ensure()
-        futures = [executor.submit(_call_packed, fn, item) for item in items]
-        packed, first_error = self._drain(futures)
-        results = [_unpack(p) if p is not None else None for p in packed]
+        ctx = serialize_context(current_context())
+        futures = [
+            executor.submit(_call_packed, fn, item, ctx) for item in items
+        ]
+        pairs, first_error = self._drain(futures)
+        results: List[Any] = []
+        for pair in pairs:
+            if pair is None:
+                results.append(None)
+                continue
+            packed, envelope = pair
+            results.append(_unpack(packed))
+            merge_envelope(envelope)
         if first_error is not None:
             raise first_error
         return results

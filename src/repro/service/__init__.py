@@ -30,6 +30,7 @@ from repro.service.demo import (
 )
 from repro.service.fairshare import FairShare
 from repro.service.service import ServiceError, WorkflowService
+from repro.service.top import gather_top_state, render_top
 
 __all__ = [
     "ANALYTICS_WORKFLOW",
@@ -43,5 +44,7 @@ __all__ = [
     "Tenant",
     "WorkflowService",
     "build_demo_services",
+    "gather_top_state",
     "new_job_id",
+    "render_top",
 ]

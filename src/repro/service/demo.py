@@ -13,11 +13,17 @@ a hand-invoked one.
 
 from __future__ import annotations
 
+import time
 import uuid
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.hpcwaas import Alien4Cloud, HPCWaaSAPI
+from repro.observability.history import (
+    RunHistory,
+    default_history_path,
+    new_run_id,
+)
 
 #: Workflow ids the demo registry publishes.
 ESM_WORKFLOW = "esm-ensemble-member"
@@ -80,6 +86,59 @@ topology_template:
 """
 
 
+def _snapshot_registry():
+    """Best-effort pre-run registry snapshot for the job's metrics delta."""
+    try:
+        from repro.observability import get_registry
+
+        return get_registry().snapshot()
+    except Exception:  # noqa: BLE001 - telemetry must never fail the job
+        return None
+
+
+def _record_run(
+    kind: str,
+    params: Dict[str, Any],
+    result: Dict[str, Any],
+    snap_before,
+    started: float,
+) -> Optional[str]:
+    """Append the finished job's metrics delta + trace ref to runs.db.
+
+    The service injects its own database path as the ``runs_db`` param
+    at launch, so every service-launched job lands in the same run
+    history the control plane reads; stand-alone invocations fall back
+    to ``$REPRO_RUNS_DB``.  Returns the recorded run id (``None`` when
+    recording is disabled or fails — telemetry never fails the job).
+    """
+    db_path = params.get("runs_db") or default_history_path()
+    if not db_path:
+        return None
+    try:
+        from repro.observability import current_context, get_registry
+        from repro.observability.resources import sample_process_resources
+
+        sample_process_resources("driver")
+        metrics = None
+        if snap_before is not None:
+            metrics = get_registry().snapshot().delta(snap_before).to_json()
+        ctx = current_context()
+        run_id = new_run_id()
+        RunHistory(db_path).record_run(
+            kind=kind,
+            status="completed",
+            params={k: v for k, v in params.items() if k != "runs_db"},
+            wall_clock_s=time.monotonic() - started,
+            metrics=metrics,
+            trace_id=ctx.trace_id if ctx is not None else "",
+            run_id=run_id,
+            extra={"result": result},
+        )
+        return run_id
+    except Exception:  # noqa: BLE001 - telemetry must never fail the job
+        return None
+
+
 def run_esm_member(cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
     """One ensemble member: a short ESM projection writing daily files.
 
@@ -89,6 +148,8 @@ def run_esm_member(cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
     """
     from repro.esm import CMCCCM3, ModelConfig
 
+    started = time.monotonic()
+    snap_before = _snapshot_registry()
     year = int(params.get("year", 2030))
     n_days = int(params.get("n_days", 4))
     seed = int(params.get("seed", 42))
@@ -100,7 +161,7 @@ def run_esm_member(cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
     truth = model.run([year], cluster.filesystem, output_dir=out_dir,
                       n_days=n_days)
     events = truth[year]
-    return {
+    result = {
         "workflow": ESM_WORKFLOW,
         "year": year,
         "days_written": n_days,
@@ -108,6 +169,12 @@ def run_esm_member(cluster: Cluster, params: Dict[str, Any]) -> Dict[str, Any]:
         "heat_waves": len(events["heat_waves"]),
         "tropical_cyclones": len(events["tropical_cyclones"]),
     }
+    run_id = _record_run(
+        f"service:{ESM_WORKFLOW}", params, result, snap_before, started
+    )
+    if run_id:
+        result["run_id"] = run_id
+    return result
 
 
 def run_heatwave_analytics(
@@ -118,6 +185,8 @@ def run_heatwave_analytics(
 
     from repro.analytics import compute_heatwave_indices
 
+    started = time.monotonic()
+    snap_before = _snapshot_registry()
     n_days = int(params.get("n_days", 16))
     n_lat = int(params.get("n_lat", 12))
     n_lon = int(params.get("n_lon", 18))
@@ -128,13 +197,19 @@ def run_heatwave_analytics(
         tmax, baseline,
         min_length_days=int(params.get("min_length_days", 3)),
     )
-    return {
+    result = {
         "workflow": ANALYTICS_WORKFLOW,
         "n_days": n_days,
         "max_wave_number": float(indices.number.max()),
         "max_wave_duration_days": float(indices.duration_max.max()),
         "mean_wave_frequency": float(indices.frequency.mean()),
     }
+    run_id = _record_run(
+        f"service:{ANALYTICS_WORKFLOW}", params, result, snap_before, started
+    )
+    if run_id:
+        result["run_id"] = run_id
+    return result
 
 
 def build_demo_services(cluster: Cluster) -> Tuple[Alien4Cloud, HPCWaaSAPI]:

@@ -91,6 +91,10 @@ class WorkflowService:
         self._started = False
         self._stop = False
         self._launcher: Optional[threading.Thread] = None
+        #: tenants that ever held a running-cores gauge series, so a
+        #: tenant whose last job finished resets to 0 instead of
+        #: lingering at its final level.
+        self._gauged_tenants: set = set()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -189,6 +193,7 @@ class WorkflowService:
         )
         with self._cond:
             self._pending.append(job)
+            self._update_queue_gauge_locked()
             self._cond.notify_all()
         return job
 
@@ -230,6 +235,7 @@ class WorkflowService:
                     self._pending.remove(queued)
                     self._finish(queued, JobState.CANCELLED,
                                  error="cancelled before launch")
+                    self._update_queue_gauge_locked()
                     self._cond.notify_all()
                     return True
         execution = self._executions.get(job_id)
@@ -275,6 +281,43 @@ class WorkflowService:
             }
         return {"site": self.site, "cluster": self.cluster.name,
                 "tenants": tenants}
+
+    # -- live telemetry ------------------------------------------------------
+
+    def _update_queue_gauge_locked(self) -> None:
+        get_registry().gauge(
+            "service_ready_queue_depth",
+            "Jobs waiting in the service queue (SUBMITTED, not launched)",
+        ).set(len(self._pending))
+
+    def _update_tenant_gauges_locked(self) -> None:
+        """Recompute per-tenant running-core and utilisation gauges.
+
+        Derived from ``_in_flight`` so every launch and finish moves
+        them; tenants whose last job finished reset to 0 (the
+        ``_gauged_tenants`` memory) instead of freezing at their final
+        level.
+        """
+        registry = get_registry()
+        cores_gauge = registry.gauge(
+            "service_tenant_running_cores",
+            "Cores currently held by each tenant's launched/running jobs",
+            labels=("tenant",),
+        )
+        util_gauge = registry.gauge(
+            "service_tenant_utilisation",
+            "Fraction of the cluster's cores each tenant currently holds",
+            labels=("tenant",),
+        )
+        held: Dict[str, int] = {}
+        for job in self._in_flight.values():
+            held[job.tenant] = held.get(job.tenant, 0) + job.cores
+        total = max(1, self.cluster.total_cores)
+        self._gauged_tenants.update(held)
+        for tenant in self._gauged_tenants:
+            cores = held.get(tenant, 0)
+            cores_gauge.set(cores, tenant=tenant)
+            util_gauge.set(cores / total, tenant=tenant)
 
     # -- the launcher --------------------------------------------------------
 
@@ -349,13 +392,20 @@ class WorkflowService:
             self._launch_locked(job, backfilled=backfilled)
             available -= job.cores
             launched_any = True
+        if launched_any:
+            self._update_queue_gauge_locked()
         return launched_any
 
     def _launch_locked(self, job: ServiceJob, backfilled: bool) -> None:
+        params = dict(job.params)
+        # Tell the workflow where the fleet's run history lives, so its
+        # final metrics delta and trace ref land in the same runs.db the
+        # job row does (and `repro top` sees them cross-process).
+        params.setdefault("runs_db", self.db.path)
         try:
             execution = self.api.invoke(
                 job.workflow, cores=job.cores, memory_gb=job.memory_gb,
-                **job.params,
+                **params,
             )
         except (KeyError, RuntimeError, ValueError) as exc:
             # Unknown workflow, undeployed deployment, impossible
@@ -369,6 +419,7 @@ class WorkflowService:
         )
         self._executions[job.job_id] = execution
         self._in_flight[job.job_id] = job
+        self._update_tenant_gauges_locked()
         if backfilled:
             get_registry().counter(
                 "service_backfill_launches_total",
@@ -404,11 +455,18 @@ class WorkflowService:
         if lsf_job.end_time is not None:
             finished = now_wall - (now_mono - lsf_job.end_time)
         error = "" if execution.error is None else repr(execution.error)
+        # A completed workflow that recorded itself into runs.db returns
+        # its run_id; persisting it on the job row links the control
+        # plane to the run's metrics delta and trace reference.
+        run_id = ""
+        if state is JobState.COMPLETED and isinstance(execution.result, dict):
+            run_id = str(execution.result.get("run_id") or "")
         with self._cond:
             self.fairshare.charge(job.tenant, job.cores * runtime)
             self._in_flight.pop(job.job_id, None)
             self._finish(job, state, started_at=started,
-                         finished_at=finished, error=error)
+                         finished_at=finished, error=error, run_id=run_id)
+            self._update_tenant_gauges_locked()
             self._cond.notify_all()
 
     def _finish(
@@ -418,10 +476,12 @@ class WorkflowService:
         started_at: Optional[float] = None,
         finished_at: Optional[float] = None,
         error: str = "",
+        run_id: str = "",
     ) -> None:
         self.db.update_job(
             job.job_id, state=state, started_at=started_at,
             finished_at=finished_at or time.time(), error=error,
+            run_id=run_id or None,
         )
         get_registry().counter(
             "service_jobs_total", "Finished service jobs by tenant and state",

@@ -269,12 +269,24 @@ def run_distributed_extreme_events(
     slo_section = control.slo_section()
     if slo_section is not None:
         summary["slo"] = slo_section
+    # Final driver resource sample before the delta, mirroring the
+    # single-site driver: driver CPU/RSS join the shipped worker samples.
+    try:
+        from repro.observability.resources import sample_process_resources
+
+        sample_process_resources("driver")
+    except Exception:  # noqa: BLE001
+        pass
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
+    dropped_spans = get_collector().dropped
+    if dropped_spans:
+        summary["spans_dropped"] = dropped_spans
     ana.filesystem.write_bytes(
         f"{p.results_dir}/trace.json",
         build_perfetto_trace(
             trace_spans,
             runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
+            dropped=dropped_spans,
         ).encode(),
     )
     if profile is not None:

@@ -37,6 +37,7 @@ from repro.observability.events import get_event_log, run_scope
 from repro.observability.history import (
     RunHistory, default_history_path, new_run_id,
 )
+from repro.observability.resources import sample_process_resources
 from repro.observability.slo import SLOMonitor, load_slo_rules
 from repro.observability.spans import current_context, record_span
 from repro.ophidia import Client, OphidiaServer
@@ -197,6 +198,12 @@ class RunControlPlane:
                 self.events_path = None
         self._scope = run_scope(self.run_id)
         self._scope.__enter__()
+        # Remember the driver's CPU total without emitting, so CPU burned
+        # before this run stays out of the run's metrics delta.
+        try:
+            sample_process_resources("driver", baseline_only=True)
+        except Exception:  # noqa: BLE001 - sampling must not fail the run
+            pass
         self._log.emit(
             "INFO", "workflow", "run_started",
             f"{self.kind} {self.run_id} started",
@@ -371,13 +378,24 @@ def run_extreme_events_workflow(
     slo_section = control.slo_section()
     if slo_section is not None:
         summary["slo"] = slo_section
+    # Final driver resource sample, before the delta snapshot: the
+    # driver's CPU/RSS (role="driver") land in this run's metrics next
+    # to the worker samples the process backend shipped home.
+    try:
+        sample_process_resources("driver")
+    except Exception:  # noqa: BLE001
+        pass
     summary["metrics"] = registry.snapshot().delta(snap_before).to_json()
 
+    dropped_spans = get_collector().dropped
+    if dropped_spans:
+        summary["spans_dropped"] = dropped_spans
     _write_artifact(
         fs, f"{p.results_dir}/trace.json",
         build_perfetto_trace(
             trace_spans,
             runtime.tracer.events, tracer_epoch=runtime.tracer.epoch,
+            dropped=dropped_spans,
         ).encode(),
     )
     if profile is not None:
